@@ -1,0 +1,266 @@
+//! `hcl` — build a highway-cover labelling over an edge-list graph and
+//! answer exact distance queries.
+//!
+//! ```text
+//! hcl <graph.edges> [--landmarks K] [--queries FILE] [--random N --seed S]
+//! ```
+//!
+//! The graph file holds one `u v` pair per line; blank lines and lines
+//! starting with `#` are ignored. Queries come from `--queries FILE`, from
+//! stdin (a hint is printed when stdin is a terminal), or are generated
+//! uniformly at random with `--random N`. Each answer is printed as
+//! `u v d` (`d` is `inf` for disconnected pairs). Timing and index
+//! statistics go to stderr so stdout stays machine-readable.
+
+use hcl_core::{bfs, Graph, GraphBuilder, VertexId};
+use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use std::io::{BufRead, IsTerminal, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    graph_path: String,
+    num_landmarks: usize,
+    queries_path: Option<String>,
+    random_queries: Option<usize>,
+    seed: u64,
+    verify: bool,
+}
+
+const USAGE: &str = "usage: hcl <graph.edges> [--landmarks K] [--queries FILE] \
+     [--random N] [--seed S] [--verify]\n\
+     \n\
+     Answers exact shortest-path distance queries using a highway-cover\n\
+     hub labelling. Query lines are `u v` pairs (file, or stdin when\n\
+     --queries/--random are absent); answers are `u v d` on stdout.\n\
+     --verify re-checks every answer against a BFS oracle.\n\
+     --queries and --random are mutually exclusive.";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn help() -> ! {
+    println!("{USAGE}");
+    std::process::exit(0)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        graph_path: String::new(),
+        num_landmarks: 16,
+        queries_path: None,
+        random_queries: None,
+        seed: 0xC0FFEE,
+        verify: false,
+    };
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} expects a value");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--landmarks" | "-k" => {
+                opts.num_landmarks = next_value(&mut args, "--landmarks")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--queries" | "-q" => opts.queries_path = Some(next_value(&mut args, "--queries")),
+            "--random" => {
+                opts.random_queries = Some(
+                    next_value(&mut args, "--random")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--seed" => {
+                opts.seed = next_value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--verify" => opts.verify = true,
+            "--help" | "-h" => help(),
+            _ if opts.graph_path.is_empty() && !arg.starts_with('-') => opts.graph_path = arg,
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    if opts.graph_path.is_empty() {
+        usage();
+    }
+    if opts.queries_path.is_some() && opts.random_queries.is_some() {
+        eprintln!("error: --queries and --random are mutually exclusive");
+        usage();
+    }
+    opts
+}
+
+/// Parses `u v` pairs from a reader, ignoring blanks and `#` comments.
+fn parse_pairs(reader: impl BufRead, what: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("reading {what}: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<VertexId, String> {
+            tok.ok_or_else(|| format!("{what}:{}: expected two vertex ids", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("{what}:{}: invalid vertex id", lineno + 1))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(format!(
+                "{what}:{}: expected exactly two vertex ids per line \
+                 (weighted edge lists are not supported)",
+                lineno + 1
+            ));
+        }
+        pairs.push((u, v));
+    }
+    Ok(pairs)
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let edges = parse_pairs(std::io::BufReader::new(file), path)?;
+    let mut b = GraphBuilder::new();
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn collect_queries(opts: &Options, n: usize) -> Result<Vec<(VertexId, VertexId)>, String> {
+    if let Some(count) = opts.random_queries {
+        if n == 0 {
+            return Err("cannot generate random queries on an empty graph".into());
+        }
+        let mut rng = hcl_core::testkit::SplitMix64::new(opts.seed);
+        return Ok((0..count)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as VertexId,
+                    rng.next_below(n as u64) as VertexId,
+                )
+            })
+            .collect());
+    }
+    if let Some(path) = &opts.queries_path {
+        let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        return parse_pairs(std::io::BufReader::new(file), path);
+    }
+    let stdin = std::io::stdin();
+    if stdin.is_terminal() {
+        eprintln!("reading queries from stdin: one `u v` pair per line, Ctrl-D to finish");
+    }
+    parse_pairs(stdin.lock(), "stdin")
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args();
+
+    let t0 = Instant::now();
+    let graph = load_graph(&opts.graph_path)?;
+    let load_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let index = HighwayCoverIndex::build(
+        &graph,
+        IndexConfig {
+            num_landmarks: opts.num_landmarks,
+        },
+    );
+    let build_time = t1.elapsed();
+    let stats = index.stats();
+
+    eprintln!(
+        "graph: {} vertices, {} edges (loaded in {:.1?})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        load_time
+    );
+    eprintln!(
+        "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), \
+         {:.1} KiB, built in {:.1?}",
+        stats.num_landmarks,
+        stats.total_label_entries,
+        stats.avg_label_size,
+        stats.max_label_size,
+        stats.bytes as f64 / 1024.0,
+        build_time
+    );
+
+    let queries = collect_queries(&opts, graph.num_vertices())?;
+    let n = graph.num_vertices() as u64;
+    for &(u, v) in &queries {
+        if u as u64 >= n || v as u64 >= n {
+            return Err(format!("query ({u}, {v}) out of range (n = {n})"));
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut ctx = QueryContext::new();
+    let t2 = Instant::now();
+    let mut answers = Vec::with_capacity(queries.len());
+    for &(u, v) in &queries {
+        answers.push(index.query_with(&graph, &mut ctx, u, v));
+    }
+    let query_time = t2.elapsed();
+
+    for (&(u, v), &d) in queries.iter().zip(&answers) {
+        match d {
+            Some(d) => writeln!(out, "{u} {v} {d}"),
+            None => writeln!(out, "{u} {v} inf"),
+        }
+        .map_err(|e| format!("writing output: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("writing output: {e}"))?;
+
+    if !queries.is_empty() {
+        eprintln!(
+            "queries: {} answered in {:.1?} ({:.2} µs/query)",
+            queries.len(),
+            query_time,
+            query_time.as_secs_f64() * 1e6 / queries.len() as f64
+        );
+    }
+
+    if opts.verify {
+        let t3 = Instant::now();
+        for (&(u, v), &d) in queries.iter().zip(&answers) {
+            let oracle = bfs::distance(&graph, u, v);
+            if d != oracle {
+                return Err(format!(
+                    "VERIFICATION FAILED: query ({u}, {v}) = {d:?}, BFS oracle says {oracle:?}"
+                ));
+            }
+        }
+        eprintln!(
+            "verify: all {} answers match the BFS oracle ({:.1?})",
+            queries.len(),
+            t3.elapsed()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Breadth-first-search distance oracles.
+//!
+//! These are deliberately simple and obviously correct: they serve as the
+//! ground truth that the hub-labelling index is property-tested against, and
+//! as the fallback search primitive inside the query engine.
+
+use crate::graph::{Graph, VertexId, INFINITY};
+use std::collections::VecDeque;
+
+/// Distances from `src` to every vertex, with [`INFINITY`] for vertices in
+/// other connected components.
+///
+/// # Panics
+/// Panics if `src` is out of range.
+pub fn distances_from(graph: &Graph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![INFINITY; graph.num_vertices()];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in graph.neighbors(u) {
+            if dist[w as usize] == INFINITY {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact distance between `u` and `v`, or `None` if they are disconnected.
+///
+/// Early-exits as soon as `v` is settled, so point-to-point queries do not
+/// pay for the whole component.
+///
+/// # Panics
+/// Panics if `u` or `v` is out of range.
+pub fn distance(graph: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
+    assert!((v as usize) < graph.num_vertices(), "vertex out of range");
+    if u == v {
+        return Some(0);
+    }
+    let mut dist = vec![INFINITY; graph.num_vertices()];
+    dist[u as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x as usize];
+        for &w in graph.neighbors(x) {
+            if dist[w as usize] == INFINITY {
+                if w == v {
+                    return Some(dx + 1);
+                }
+                dist[w as usize] = dx + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(distances_from(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(distance(&g, 0, 3), Some(3));
+        assert_eq!(distance(&g, 3, 0), Some(3));
+        assert_eq!(distance(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_components_are_unreachable() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(distance(&g, 0, 3), None);
+        assert_eq!(distances_from(&g, 0), vec![0, 1, INFINITY, INFINITY]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Immutable CSR (compressed sparse row) graph storage.
+//!
+//! The graph model throughout the workspace is the one used by the paper:
+//! unweighted, undirected, simple graphs. [`GraphBuilder`] accepts arbitrary
+//! messy edge lists (self-loops, duplicates, either endpoint order) and
+//! canonicalises them at build time, so the resulting [`Graph`] can assume a
+//! clean adjacency structure on every hot path.
+
+/// Vertex identifier. Dense, zero-based.
+pub type VertexId = u32;
+
+/// Sentinel distance meaning "unreachable" in `u32` distance arrays.
+pub const INFINITY: u32 = u32::MAX;
+
+/// An immutable unweighted, undirected simple graph in CSR form.
+///
+/// Neighbour lists are stored back-to-back in one contiguous array and are
+/// sorted ascending per vertex, which makes iteration cache-friendly and
+/// membership checks binary-searchable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    neighbors: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from an edge list.
+    ///
+    /// Convenience wrapper over [`GraphBuilder`]; the vertex count is
+    /// inferred as `max endpoint + 1` (0 for an empty list).
+    pub fn from_edges(edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each edge counted once).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted neighbour list of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether `u` and `v` are adjacent (`O(log degree(u))`).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Vertices ranked by importance: descending degree, ties broken by
+    /// ascending id so the order is deterministic.
+    ///
+    /// The first `k` entries are the landmark set used by the
+    /// highway-cover labelling, mirroring the paper's heuristic that
+    /// high-degree vertices cover the most shortest paths in complex
+    /// networks.
+    pub fn rank_by_degree(&self) -> Vec<VertexId> {
+        let mut order: Vec<VertexId> = (0..self.num_vertices() as VertexId).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        order
+    }
+}
+
+/// Incremental builder producing a canonical [`Graph`].
+///
+/// Canonicalisation performed by [`GraphBuilder::build`]:
+/// * self-loops are dropped,
+/// * duplicate edges (in either orientation) are deduplicated,
+/// * every kept edge is materialised in both directions,
+/// * adjacency lists are sorted ascending.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    num_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the graph has at least `n` vertices, so trailing isolated
+    /// vertices survive even though no edge mentions them.
+    pub fn reserve_vertices(&mut self, n: usize) -> &mut Self {
+        self.num_vertices = self.num_vertices.max(n);
+        self
+    }
+
+    /// Adds an undirected edge. Order of endpoints is irrelevant;
+    /// self-loops and duplicates are tolerated and cleaned up in
+    /// [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.num_vertices = self.num_vertices.max(u.max(v) as usize + 1);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Finalises the builder into an immutable CSR [`Graph`].
+    pub fn build(&self) -> Graph {
+        let n = self.num_vertices;
+        // Canonicalise: drop self-loops, order endpoints, sort, dedup.
+        let mut canon: Vec<(VertexId, VertexId)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &canon {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &canon {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let g = Graph::from_edges(&[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = Graph::from_edges(&[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_kept() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).reserve_vertices(5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_queryable() {
+        let g = Graph::from_edges(&[(2, 0), (2, 3), (2, 1), (0, 3)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.has_edge(2, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn degree_ranking_is_deterministic() {
+        // Star centred on 0 plus an extra edge raising vertex 1's degree.
+        let g = Graph::from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let rank = g.rank_by_degree();
+        assert_eq!(rank[0], 0); // degree 3
+        assert_eq!(rank[1], 1); // degree 2, ties broken by id
+        assert_eq!(rank[2], 2);
+        assert_eq!(rank[3], 3);
+    }
+}

@@ -1,1 +1,22 @@
-pub fn placeholder() {}
+//! Core graph storage and traversal primitives for the highway-cover
+//! labelling system.
+//!
+//! This crate provides the three foundations every other layer builds on:
+//!
+//! * [`graph::Graph`] — an immutable, cache-friendly CSR (compressed sparse
+//!   row) adjacency structure for unweighted undirected graphs, built from
+//!   arbitrary edge lists via [`graph::GraphBuilder`].
+//! * [`bfs`] — plain breadth-first-search distance oracles. These are the
+//!   ground truth that the hub-labelling index in `hcl-index` is
+//!   property-tested against.
+//! * [`testkit`] — deterministic, seeded synthetic graph generators (paths,
+//!   cycles, stars, grids, Erdős–Rényi) so every crate in the workspace can
+//!   write reproducible property tests.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bfs;
+pub mod graph;
+pub mod testkit;
+
+pub use graph::{Graph, GraphBuilder, VertexId, INFINITY};

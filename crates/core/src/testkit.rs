@@ -1,0 +1,198 @@
+//! Deterministic synthetic graph generators for property tests and benches.
+//!
+//! Every generator is seeded and pure, so a failing test case can always be
+//! reproduced from its seed. Nothing here depends on external crates: the
+//! RNG is a small SplitMix64, which is plenty for generating test topologies.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// Tiny, fast, and statistically fine for synthetic-graph generation. Not
+/// cryptographic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible for test-sized bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Simple path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle over `n` vertices (`n >= 3` to be a proper cycle; smaller values
+/// degrade gracefully into a path or a single edge).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    if n > 2 {
+        b.add_edge((n - 1) as VertexId, 0);
+    }
+    b.build()
+}
+
+/// Star with centre `0` and `n - 1` leaves — the extreme case for
+/// degree-based landmark selection.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// 4-connected `rows × cols` grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as VertexId;
+            if c + 1 < cols {
+                b.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(id, id + cols as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` random graph, deterministic in `seed`.
+///
+/// Frequently disconnected for small `p`, which is exactly what the
+/// unreachability tests want.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.next_f64() < p {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi graph specified by expected average degree instead of `p`,
+/// using `O(n * avg_degree)` edge sampling so it scales to bench-sized
+/// graphs without the `O(n^2)` coin-flip loop.
+pub fn erdos_renyi_avg_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    if n >= 2 {
+        let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
+        for _ in 0..target_edges {
+            let u = rng.next_below(n as u64) as VertexId;
+            let v = rng.next_below(n as u64) as VertexId;
+            // Self-loops and duplicates are canonicalised away by the builder.
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Disjoint union of two generated graphs: `b`'s vertex ids are shifted
+/// past `a`'s. Guaranteed to contain cross-component (unreachable) pairs
+/// whenever both inputs are non-empty.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let shift = a.num_vertices() as VertexId;
+    let mut builder = GraphBuilder::new();
+    builder.reserve_vertices(a.num_vertices() + b.num_vertices());
+    for g in [(a, 0), (b, shift)] {
+        let (graph, offset) = g;
+        for u in 0..graph.num_vertices() as VertexId {
+            for &v in graph.neighbors(u) {
+                if u < v {
+                    builder.add_edge(u + offset, v + offset);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn generators_have_expected_shape() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(bfs::distance(&g, 0, 11), Some(3 + 2));
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic() {
+        let a = erdos_renyi(40, 0.1, 7);
+        let b = erdos_renyi(40, 0.1, 7);
+        let c = erdos_renyi(40, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disjoint_union_separates_components() {
+        let g = disjoint_union(&path(3), &cycle(4));
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(bfs::distance(&g, 0, 2), Some(2));
+        assert_eq!(bfs::distance(&g, 2, 3), None);
+        assert_eq!(bfs::distance(&g, 3, 5), Some(2));
+    }
+}

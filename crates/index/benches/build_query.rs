@@ -1,0 +1,123 @@
+//! Micro-benchmark: index build time and query latency on a generated
+//! 10k-node Erdős–Rényi graph, written to `BENCH_pr1.json` at the repo
+//! root. Runs under `cargo bench` (plain std::time harness; the container
+//! has no registry access, so no criterion).
+
+use hcl_core::{testkit, VertexId};
+use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 10_000;
+const AVG_DEGREE: f64 = 10.0;
+const SEED: u64 = 2024;
+const NUM_QUERIES: usize = 20_000;
+const BUILD_REPS: usize = 3;
+
+fn percentile(sorted_ns: &[u128], p: f64) -> u128 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let g = testkit::erdos_renyi_avg_degree(NUM_VERTICES, AVG_DEGREE, SEED);
+    eprintln!(
+        "bench graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Index build: best of BUILD_REPS.
+    let mut build_ns = Vec::new();
+    let mut index = None;
+    for _ in 0..BUILD_REPS {
+        let t = Instant::now();
+        let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+        build_ns.push(t.elapsed().as_nanos());
+        index = Some(idx);
+    }
+    let index = index.expect("BUILD_REPS > 0");
+    let stats = index.stats();
+    let best_build_ns = *build_ns.iter().min().expect("non-empty");
+    eprintln!(
+        "build: best of {BUILD_REPS} = {:.2} ms ({} label entries)",
+        best_build_ns as f64 / 1e6,
+        stats.total_label_entries
+    );
+
+    // Query latency over random pairs, per-query timed for percentiles.
+    let mut rng = testkit::SplitMix64::new(SEED ^ 0x5eed);
+    let pairs: Vec<(VertexId, VertexId)> = (0..NUM_QUERIES)
+        .map(|_| {
+            (
+                rng.next_below(NUM_VERTICES as u64) as VertexId,
+                rng.next_below(NUM_VERTICES as u64) as VertexId,
+            )
+        })
+        .collect();
+
+    let mut ctx = QueryContext::new();
+    // Warm-up pass (first queries grow the context buffers).
+    let mut checksum = 0u64;
+    for &(u, v) in pairs.iter().take(100) {
+        if let Some(d) = index.query_with(&g, &mut ctx, u, v) {
+            checksum = checksum.wrapping_add(d as u64);
+        }
+    }
+
+    let mut per_query_ns: Vec<u128> = Vec::with_capacity(pairs.len());
+    let t_all = Instant::now();
+    for &(u, v) in &pairs {
+        let t = Instant::now();
+        let d = index.query_with(&g, &mut ctx, u, v);
+        per_query_ns.push(t.elapsed().as_nanos());
+        if let Some(d) = d {
+            checksum = checksum.wrapping_add(d as u64);
+        }
+    }
+    let total_query_ns = t_all.elapsed().as_nanos();
+    per_query_ns.sort_unstable();
+    let (p50, p99) = (
+        percentile(&per_query_ns, 0.50),
+        percentile(&per_query_ns, 0.99),
+    );
+    let mean = total_query_ns as f64 / pairs.len() as f64;
+    eprintln!(
+        "query: {} queries, mean {:.0} ns, p50 {} ns, p99 {} ns (checksum {})",
+        pairs.len(),
+        mean,
+        p50,
+        p99,
+        checksum
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr1_build_query\",\n  \"graph\": {{\"family\": \"erdos_renyi\", \
+         \"vertices\": {}, \"edges\": {}, \"avg_degree_target\": {AVG_DEGREE}, \"seed\": {SEED}}},\n  \
+         \"index\": {{\"landmarks\": {}, \"label_entries\": {}, \"avg_label_size\": {:.3}, \
+         \"bytes\": {}}},\n  \"build\": {{\"reps\": {BUILD_REPS}, \"best_ns\": {best_build_ns}}},\n  \
+         \"query\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}, \
+         \"checksum\": {checksum}}}\n}}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        stats.num_landmarks,
+        stats.total_label_entries,
+        stats.avg_label_size,
+        stats.bytes,
+        pairs.len(),
+        mean,
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json");
+    std::fs::write(out_path, &json).expect("writing BENCH_pr1.json");
+    eprintln!("wrote {out_path}");
+
+    // Keep the checksum observable so the optimiser cannot delete the loop,
+    // and sanity-check a couple of answers against the oracle.
+    let (u, v) = pairs[0];
+    assert_eq!(index.query(&g, u, v), hcl_core::bfs::distance(&g, u, v));
+    let _ = std::hint::black_box(checksum);
+}

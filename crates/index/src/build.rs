@@ -1,0 +1,291 @@
+//! Index construction: pruned landmark BFS and the highway matrix.
+
+use hcl_core::{Graph, VertexId, INFINITY};
+use std::collections::VecDeque;
+
+/// Sentinel rank for vertices that are not landmarks.
+pub(crate) const NOT_A_LANDMARK: u32 = u32::MAX;
+
+/// Construction parameters for [`HighwayCoverIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Number of landmarks (highest-degree vertices). Clamped to the vertex
+    /// count at build time. More landmarks shrink the fallback search at the
+    /// cost of larger labels and a longer build.
+    pub num_landmarks: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self { num_landmarks: 16 }
+    }
+}
+
+/// Size and shape statistics of a built index, for logging and tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStats {
+    /// Number of landmarks actually used (≤ configured).
+    pub num_landmarks: usize,
+    /// Total `(hub, dist)` entries across all vertex labels.
+    pub total_label_entries: usize,
+    /// Mean label entries per vertex.
+    pub avg_label_size: f64,
+    /// Largest single vertex label.
+    pub max_label_size: usize,
+    /// Approximate heap footprint of the index in bytes.
+    pub bytes: usize,
+}
+
+/// A built highway-cover 2-hop labelling over one [`Graph`].
+///
+/// The index borrows nothing: it is a standalone snapshot that answers
+/// queries together with the graph it was built from (the fallback BFS
+/// needs adjacency). Label arrays are stored CSR-style in two flat vectors
+/// so the whole index is three allocations regardless of graph size.
+pub struct HighwayCoverIndex {
+    /// Landmark rank → vertex id, in ranking order (rank 0 = highest degree).
+    pub(crate) landmarks: Vec<VertexId>,
+    /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`].
+    pub(crate) landmark_rank: Vec<u32>,
+    /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
+    pub(crate) label_offsets: Vec<usize>,
+    /// Hub (landmark rank) per label entry, ascending within each vertex.
+    pub(crate) label_hubs: Vec<u32>,
+    /// Distance to the hub per label entry.
+    pub(crate) label_dists: Vec<u32>,
+    /// Row-major `k × k` landmark-to-landmark distances, closed under
+    /// shortest paths (Floyd–Warshall), [`INFINITY`] when disconnected.
+    pub(crate) highway: Vec<u32>,
+    /// Vertex count of the graph the index was built for.
+    pub(crate) num_vertices: usize,
+}
+
+impl HighwayCoverIndex {
+    /// Builds the index for `graph` with the given configuration.
+    ///
+    /// Runs one pruned BFS per landmark. A BFS from landmark `r` stops at
+    /// two kinds of vertices:
+    ///
+    /// * another landmark — its depth seeds the highway matrix and the
+    ///   search does not continue through it, so every recorded label
+    ///   distance is over a path whose interior avoids landmarks;
+    /// * a vertex whose distance to `r` is already covered at least as well
+    ///   via an earlier landmark and the highway (*domination pruning*) —
+    ///   this is what keeps labels small on complex networks.
+    ///
+    /// The highway matrix is then closed with Floyd–Warshall over the `k`
+    /// landmarks so it holds exact landmark-to-landmark distances.
+    pub fn build(graph: &Graph, config: IndexConfig) -> Self {
+        let n = graph.num_vertices();
+        let k = config.num_landmarks.min(n);
+
+        let ranking = graph.rank_by_degree();
+        let landmarks: Vec<VertexId> = ranking[..k].to_vec();
+        let mut landmark_rank = vec![NOT_A_LANDMARK; n];
+        for (rank, &v) in landmarks.iter().enumerate() {
+            landmark_rank[v as usize] = rank as u32;
+        }
+
+        let mut highway = vec![INFINITY; k * k];
+        for i in 0..k {
+            highway[i * k + i] = 0;
+        }
+
+        // Per-vertex labels, built in landmark-rank order so each vector is
+        // already sorted by hub rank when flattened below.
+        let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+
+        let mut dist = vec![INFINITY; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+        for i in 0..k {
+            let root = landmarks[i];
+            dist[root as usize] = 0;
+            touched.push(root);
+            queue.push_back(root);
+            labels[root as usize].push((i as u32, 0));
+
+            while let Some(v) = queue.pop_front() {
+                let d = dist[v as usize];
+                if v != root {
+                    let rank = landmark_rank[v as usize];
+                    if rank != NOT_A_LANDMARK {
+                        // Reached another landmark: seed the highway, prune.
+                        let j = rank as usize;
+                        let entry = &mut highway[i * k + j];
+                        *entry = (*entry).min(d);
+                        highway[j * k + i] = *entry;
+                        continue;
+                    }
+                    // Domination pruning: if an earlier landmark already
+                    // covers this vertex at least as well (via the highway
+                    // entries discovered so far), neither label nor expand.
+                    let dominated = labels[v as usize].iter().any(|&(j, dj)| {
+                        let h = highway[i * k + j as usize];
+                        h != INFINITY && h + dj <= d
+                    });
+                    if dominated {
+                        continue;
+                    }
+                    labels[v as usize].push((i as u32, d));
+                }
+                for &w in graph.neighbors(v) {
+                    if dist[w as usize] == INFINITY {
+                        dist[w as usize] = d + 1;
+                        touched.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+
+            for &v in &touched {
+                dist[v as usize] = INFINITY;
+            }
+            touched.clear();
+        }
+
+        // Close the highway so it holds exact landmark-to-landmark
+        // distances: a shortest landmark-to-landmark path decomposes into
+        // landmark-free segments, each of which the pruned BFS measured.
+        for mid in 0..k {
+            for a in 0..k {
+                let via_a = highway[a * k + mid];
+                if via_a == INFINITY {
+                    continue;
+                }
+                for b in 0..k {
+                    let via_b = highway[mid * k + b];
+                    if via_b == INFINITY {
+                        continue;
+                    }
+                    let cand = via_a + via_b;
+                    let entry = &mut highway[a * k + b];
+                    if cand < *entry {
+                        *entry = cand;
+                    }
+                }
+            }
+        }
+
+        // Flatten labels CSR-style.
+        let mut label_offsets = Vec::with_capacity(n + 1);
+        label_offsets.push(0);
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut label_hubs = Vec::with_capacity(total);
+        let mut label_dists = Vec::with_capacity(total);
+        for per_vertex in &labels {
+            for &(hub, d) in per_vertex {
+                label_hubs.push(hub);
+                label_dists.push(d);
+            }
+            label_offsets.push(label_hubs.len());
+        }
+
+        Self {
+            landmarks,
+            landmark_rank,
+            label_offsets,
+            label_hubs,
+            label_dists,
+            highway,
+            num_vertices: n,
+        }
+    }
+
+    /// Number of landmarks in the index.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Vertex count of the graph this index was built for.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The `(hub rank, distance)` label entries of vertex `v`, hub-sorted.
+    pub fn label(&self, v: VertexId) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let range = self.label_offsets[v as usize]..self.label_offsets[v as usize + 1];
+        self.label_hubs[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.label_dists[range].iter().copied())
+    }
+
+    /// Whether vertex `v` is a landmark.
+    pub fn is_landmark(&self, v: VertexId) -> bool {
+        self.landmark_rank[v as usize] != NOT_A_LANDMARK
+    }
+
+    /// Size statistics for logging and tuning.
+    pub fn stats(&self) -> IndexStats {
+        let total = self.label_hubs.len();
+        let n = self.num_vertices.max(1);
+        let max = (0..self.num_vertices)
+            .map(|v| self.label_offsets[v + 1] - self.label_offsets[v])
+            .max()
+            .unwrap_or(0);
+        let bytes = self.landmarks.len() * std::mem::size_of::<VertexId>()
+            + self.landmark_rank.len() * std::mem::size_of::<u32>()
+            + self.label_offsets.len() * std::mem::size_of::<usize>()
+            + self.label_hubs.len() * std::mem::size_of::<u32>()
+            + self.label_dists.len() * std::mem::size_of::<u32>()
+            + self.highway.len() * std::mem::size_of::<u32>();
+        IndexStats {
+            num_landmarks: self.landmarks.len(),
+            total_label_entries: total,
+            avg_label_size: total as f64 / n as f64,
+            max_label_size: max,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::testkit;
+
+    #[test]
+    fn star_landmark_is_the_centre() {
+        let g = testkit::star(10);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 1 });
+        assert_eq!(idx.num_landmarks(), 1);
+        assert!(idx.is_landmark(0));
+        // Every leaf is labelled with the centre at distance 1.
+        for leaf in 1..10 {
+            assert_eq!(idx.label(leaf).collect::<Vec<_>>(), vec![(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn landmark_count_clamps_to_vertex_count() {
+        let g = testkit::path(3);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 100 });
+        assert_eq!(idx.num_landmarks(), 3);
+    }
+
+    #[test]
+    fn labels_are_hub_sorted() {
+        let g = testkit::erdos_renyi(60, 0.08, 3);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 8 });
+        for v in 0..60 {
+            let hubs: Vec<u32> = idx.label(v).map(|(h, _)| h).collect();
+            let mut sorted = hubs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(hubs, sorted, "label of {v} not sorted/deduped");
+        }
+    }
+
+    #[test]
+    fn stats_report_plausible_sizes() {
+        let g = testkit::grid(8, 8);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+        let s = idx.stats();
+        assert_eq!(s.num_landmarks, 16);
+        assert!(s.total_label_entries > 0);
+        assert!(s.max_label_size <= 16);
+        assert!(s.bytes > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Query evaluation: label merge upper bound + landmark-avoiding
+//! bounded bidirectional BFS.
+
+use crate::build::{HighwayCoverIndex, NOT_A_LANDMARK};
+use hcl_core::{Graph, VertexId, INFINITY};
+
+const INF64: u64 = u64::MAX;
+
+/// Reusable scratch space for queries.
+///
+/// A query needs two distance arrays and a few frontier vectors; allocating
+/// them per call would dominate the cost of cheap queries. Create one
+/// context per thread (or per serving task) and pass it to
+/// [`HighwayCoverIndex::query_with`]. All buffers are reset between
+/// queries via touched-lists, so reuse is `O(visited)`, not `O(n)`.
+#[derive(Default)]
+pub struct QueryContext {
+    dist_fwd: Vec<u32>,
+    dist_bwd: Vec<u32>,
+    touched: Vec<VertexId>,
+    frontier_fwd: Vec<VertexId>,
+    frontier_bwd: Vec<VertexId>,
+    next: Vec<VertexId>,
+}
+
+impl QueryContext {
+    /// Creates an empty context; buffers grow lazily to the graph size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.dist_fwd.len() < n {
+            self.dist_fwd.resize(n, INFINITY);
+            self.dist_bwd.resize(n, INFINITY);
+        }
+    }
+}
+
+impl HighwayCoverIndex {
+    /// Exact distance between `u` and `v`, or `None` if disconnected.
+    ///
+    /// Convenience wrapper that allocates a fresh [`QueryContext`]; batch
+    /// callers should hold a context and use
+    /// [`query_with`](Self::query_with) instead.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range, or if `graph` has a different
+    /// vertex count than the graph the index was built from. Passing a
+    /// *different* graph with the same vertex count is not detected and
+    /// yields meaningless answers — always query with the build graph.
+    pub fn query(&self, graph: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
+        let mut ctx = QueryContext::new();
+        self.query_with(graph, &mut ctx, u, v)
+    }
+
+    /// Exact distance between `u` and `v` reusing caller-owned scratch.
+    ///
+    /// Evaluation is the paper's two-phase scheme:
+    ///
+    /// 1. An upper bound from the labelling: the classic sorted 2-hop merge
+    ///    over common hubs, tightened by routing between *different* hubs
+    ///    across the highway matrix. If any shortest `u`–`v` path touches a
+    ///    landmark, this bound is already exact.
+    /// 2. A bidirectional BFS that never expands through a landmark,
+    ///    covering the only remaining case (a shortest path avoiding all
+    ///    landmarks). The bound from phase 1 cuts the search off early.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range, or if `graph` has a different
+    /// vertex count than the graph the index was built from. Passing a
+    /// *different* graph with the same vertex count is not detected and
+    /// yields meaningless answers — always query with the build graph.
+    pub fn query_with(
+        &self,
+        graph: &Graph,
+        ctx: &mut QueryContext,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<u32> {
+        let n = self.num_vertices;
+        assert_eq!(
+            graph.num_vertices(),
+            n,
+            "index was built for a different graph"
+        );
+        assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+        if u == v {
+            return Some(0);
+        }
+
+        let bound = self.label_upper_bound(u, v);
+        let best = self.residual_bfs(graph, ctx, u, v, bound);
+        if best == INF64 {
+            None
+        } else {
+            Some(best as u32)
+        }
+    }
+
+    /// Upper bound on `d(u, v)` from labels and the highway.
+    ///
+    /// Exact whenever some shortest `u`–`v` path passes through a landmark;
+    /// `u64::MAX` when the labels certify nothing.
+    fn label_upper_bound(&self, u: VertexId, v: VertexId) -> u64 {
+        let (u_lo, u_hi) = (
+            self.label_offsets[u as usize],
+            self.label_offsets[u as usize + 1],
+        );
+        let (v_lo, v_hi) = (
+            self.label_offsets[v as usize],
+            self.label_offsets[v as usize + 1],
+        );
+        let mut best = INF64;
+
+        // Fast path: sorted merge over common hubs (the classic 2-hop join).
+        let (mut i, mut j) = (u_lo, v_lo);
+        while i < u_hi && j < v_hi {
+            match self.label_hubs[i].cmp(&self.label_hubs[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let cand = self.label_dists[i] as u64 + self.label_dists[j] as u64;
+                    best = best.min(cand);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+
+        // General case: route between distinct hubs over the highway.
+        let k = self.landmarks.len();
+        for i in u_lo..u_hi {
+            let (h1, d1) = (self.label_hubs[i] as usize, self.label_dists[i] as u64);
+            if d1 >= best {
+                continue;
+            }
+            for j in v_lo..v_hi {
+                let h2 = self.label_hubs[j] as usize;
+                if h1 == h2 {
+                    continue; // already handled by the merge above
+                }
+                let hw = self.highway[h1 * k + h2];
+                if hw == INFINITY {
+                    continue;
+                }
+                let cand = d1 + hw as u64 + self.label_dists[j] as u64;
+                best = best.min(cand);
+            }
+        }
+        best
+    }
+
+    /// Shortest `u`–`v` distance over paths whose *interior* avoids every
+    /// landmark, clipped to `bound`; returns `min(bound, that distance)`.
+    ///
+    /// Level-synchronous bidirectional BFS, always expanding the smaller
+    /// frontier. Landmark vertices are never enqueued (endpoints are seeded
+    /// directly, so a landmark endpoint still works); meets are detected on
+    /// edge scans before the landmark check, so a direct edge into the other
+    /// frontier is never missed. The search stops as soon as the two
+    /// frontier depths certify that no undiscovered landmark-free path can
+    /// beat the current best.
+    fn residual_bfs(
+        &self,
+        graph: &Graph,
+        ctx: &mut QueryContext,
+        u: VertexId,
+        v: VertexId,
+        bound: u64,
+    ) -> u64 {
+        let n = self.num_vertices;
+        ctx.ensure_capacity(n);
+        ctx.frontier_fwd.clear();
+        ctx.frontier_bwd.clear();
+
+        ctx.dist_fwd[u as usize] = 0;
+        ctx.dist_bwd[v as usize] = 0;
+        ctx.touched.push(u);
+        ctx.touched.push(v);
+        ctx.frontier_fwd.push(u);
+        ctx.frontier_bwd.push(v);
+
+        let mut best = bound;
+        let mut depth_fwd: u64 = 0;
+        let mut depth_bwd: u64 = 0;
+
+        while !ctx.frontier_fwd.is_empty()
+            && !ctx.frontier_bwd.is_empty()
+            && depth_fwd + depth_bwd + 1 < best
+        {
+            let forward = ctx.frontier_fwd.len() <= ctx.frontier_bwd.len();
+            let (frontier, dist_mine, dist_other, depth) = if forward {
+                (
+                    &ctx.frontier_fwd,
+                    &mut ctx.dist_fwd,
+                    &ctx.dist_bwd,
+                    &mut depth_fwd,
+                )
+            } else {
+                (
+                    &ctx.frontier_bwd,
+                    &mut ctx.dist_bwd,
+                    &ctx.dist_fwd,
+                    &mut depth_bwd,
+                )
+            };
+            ctx.next.clear();
+            let next_depth = (*depth + 1) as u32;
+            for &x in frontier {
+                for &w in graph.neighbors(x) {
+                    let other = dist_other[w as usize];
+                    if other != INFINITY {
+                        best = best.min(*depth + 1 + other as u64);
+                    }
+                    if self.landmark_rank[w as usize] != NOT_A_LANDMARK {
+                        continue;
+                    }
+                    if dist_mine[w as usize] == INFINITY {
+                        dist_mine[w as usize] = next_depth;
+                        ctx.touched.push(w);
+                        ctx.next.push(w);
+                    }
+                }
+            }
+            *depth += 1;
+            if forward {
+                std::mem::swap(&mut ctx.frontier_fwd, &mut ctx.next);
+            } else {
+                std::mem::swap(&mut ctx.frontier_bwd, &mut ctx.next);
+            }
+        }
+
+        for &x in &ctx.touched {
+            ctx.dist_fwd[x as usize] = INFINITY;
+            ctx.dist_bwd[x as usize] = INFINITY;
+        }
+        ctx.touched.clear();
+        best
+    }
+}
