@@ -1,40 +1,57 @@
-//! `hcl` — build a highway-cover labelling over an edge-list graph and
-//! answer exact distance queries.
+//! `hcl` — build, persist, inspect, and serve highway-cover distance
+//! indexes.
 //!
 //! ```text
-//! hcl <graph.edges> [--landmarks K] [--queries FILE] [--random N --seed S]
+//! hcl build <graph.edges> [--out FILE.hcl] [--landmarks K]
+//! hcl query (--index FILE.hcl | <graph.edges> [--landmarks K])
+//!           [--queries FILE | --random N] [--seed S] [--verify]
+//! hcl serve (--index FILE.hcl | <graph.edges> [--landmarks K])
+//! hcl inspect <FILE.hcl>
 //! ```
 //!
-//! The graph file holds one `u v` pair per line; blank lines and lines
-//! starting with `#` are ignored. Queries come from `--queries FILE`, from
-//! stdin (a hint is printed when stdin is a terminal), or are generated
-//! uniformly at random with `--random N`. Each answer is printed as
-//! `u v d` (`d` is `inf` for disconnected pairs). Timing and index
-//! statistics go to stderr so stdout stays machine-readable.
+//! `build` parses a whitespace `u v` edge list (blank lines and `#`/`%`
+//! comment lines are skipped), runs the labelling once, and writes a
+//! versioned, checksummed `.hcl` container. `query --index` and `serve
+//! --index` memory-map that container and answer queries with **no
+//! rebuild and no deserialisation** — the serving path the paper's scheme
+//! exists for. `inspect` dumps header metadata and the section table.
+//!
+//! Invoking `hcl <graph.edges> …` without a subcommand keeps the original
+//! build-in-memory-and-query behaviour for compatibility.
+//!
+//! Answers are printed as `u v d` (`d` is `inf` for disconnected pairs) on
+//! stdout; timing and index statistics go to stderr so stdout stays
+//! machine-readable. `--verify` re-checks every answer against the BFS
+//! oracle, regardless of backing.
 
-use hcl_core::{bfs, Graph, GraphBuilder, VertexId};
-use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
+use hcl_index::{HighwayCoverIndex, IndexConfig, IndexView, QueryContext};
+use hcl_store::IndexStore;
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-struct Options {
-    graph_path: String,
-    num_landmarks: usize,
-    queries_path: Option<String>,
-    random_queries: Option<usize>,
-    seed: u64,
-    verify: bool,
-}
-
-const USAGE: &str = "usage: hcl <graph.edges> [--landmarks K] [--queries FILE] \
-     [--random N] [--seed S] [--verify]\n\
+const USAGE: &str = "usage: hcl <command> [args]\n\
      \n\
-     Answers exact shortest-path distance queries using a highway-cover\n\
-     hub labelling. Query lines are `u v` pairs (file, or stdin when\n\
-     --queries/--random are absent); answers are `u v d` on stdout.\n\
-     --verify re-checks every answer against a BFS oracle.\n\
-     --queries and --random are mutually exclusive.";
+     commands:\n\
+       build <graph.edges> [--out FILE.hcl] [--landmarks K]\n\
+           Build the highway-cover index once and persist it (default\n\
+           output: <graph.edges>.hcl).\n\
+       query (--index FILE.hcl | <graph.edges> [--landmarks K])\n\
+             [--queries FILE | --random N] [--seed S] [--verify]\n\
+           Answer `u v` distance queries. With --index the saved container\n\
+           is memory-mapped and served zero-copy — no rebuild. Queries come\n\
+           from --queries, --random, or stdin; answers are `u v d` lines\n\
+           (`inf` when disconnected). --verify re-checks against a BFS\n\
+           oracle.\n\
+       serve (--index FILE.hcl | <graph.edges> [--landmarks K])\n\
+           Interactive serving: read `u v` per line on stdin, answer\n\
+           immediately (line-buffered). Bad lines are reported and skipped.\n\
+       inspect <FILE.hcl>\n\
+           Print header metadata, build statistics, and the section table.\n\
+     \n\
+     `hcl <graph.edges> [query flags]` (no subcommand) behaves like\n\
+     `hcl query <graph.edges>`.";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -46,88 +63,53 @@ fn help() -> ! {
     std::process::exit(0)
 }
 
-fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1);
-    let mut opts = Options {
-        graph_path: String::new(),
-        num_landmarks: 16,
-        queries_path: None,
-        random_queries: None,
-        seed: 0xC0FFEE,
-        verify: false,
-    };
-    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        args.next().unwrap_or_else(|| {
-            eprintln!("error: {flag} expects a value");
-            usage()
-        })
-    };
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--landmarks" | "-k" => {
-                opts.num_landmarks = next_value(&mut args, "--landmarks")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--queries" | "-q" => opts.queries_path = Some(next_value(&mut args, "--queries")),
-            "--random" => {
-                opts.random_queries = Some(
-                    next_value(&mut args, "--random")
-                        .parse()
-                        .unwrap_or_else(|_| usage()),
-                )
-            }
-            "--seed" => {
-                opts.seed = next_value(&mut args, "--seed")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--verify" => opts.verify = true,
-            "--help" | "-h" => help(),
-            _ if opts.graph_path.is_empty() && !arg.starts_with('-') => opts.graph_path = arg,
-            _ => {
-                eprintln!("error: unrecognised argument `{arg}`");
-                usage()
-            }
-        }
-    }
-    if opts.graph_path.is_empty() {
-        usage();
-    }
-    if opts.queries_path.is_some() && opts.random_queries.is_some() {
-        eprintln!("error: --queries and --random are mutually exclusive");
-        usage();
-    }
-    opts
-}
+// ---------------------------------------------------------------------------
+// Edge-list / query-pair parsing
+// ---------------------------------------------------------------------------
 
-/// Parses `u v` pairs from a reader, ignoring blanks and `#` comments.
+/// Parses `u v` pairs from a reader.
+///
+/// Blank lines and comment lines starting with `#` or `%` (METIS/DIMACS
+/// style) are skipped. Every malformed line is reported as
+/// `<source>:<line>: <problem>`, quoting the offending token, instead of a
+/// bare parse panic.
 fn parse_pairs(reader: impl BufRead, what: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
     let mut pairs = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("reading {what}: {e}"))?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(pair) = parse_pair_line(&line, what, lineno + 1)? {
+            pairs.push(pair);
         }
-        let mut it = line.split_whitespace();
-        let parse = |tok: Option<&str>| -> Result<VertexId, String> {
-            tok.ok_or_else(|| format!("{what}:{}: expected two vertex ids", lineno + 1))?
-                .parse()
-                .map_err(|_| format!("{what}:{}: invalid vertex id", lineno + 1))
-        };
-        let u = parse(it.next())?;
-        let v = parse(it.next())?;
-        if it.next().is_some() {
-            return Err(format!(
-                "{what}:{}: expected exactly two vertex ids per line \
-                 (weighted edge lists are not supported)",
-                lineno + 1
-            ));
-        }
-        pairs.push((u, v));
     }
     Ok(pairs)
+}
+
+/// Parses one line; `Ok(None)` for blanks and comments.
+fn parse_pair_line(
+    line: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<Option<(VertexId, VertexId)>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let parse = |tok: Option<&str>| -> Result<VertexId, String> {
+        let tok = tok.ok_or_else(|| format!("{what}:{lineno}: expected two vertex ids"))?;
+        tok.parse().map_err(|_| {
+            format!("{what}:{lineno}: invalid vertex id `{tok}` (expected a non-negative integer)")
+        })
+    };
+    let u = parse(it.next())?;
+    let v = parse(it.next())?;
+    if let Some(extra) = it.next() {
+        return Err(format!(
+            "{what}:{lineno}: unexpected trailing token `{extra}` — expected exactly two vertex \
+             ids per line (weighted edge lists are not supported)"
+        ));
+    }
+    Ok(Some((u, v)))
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -140,7 +122,230 @@ fn load_graph(path: &str) -> Result<Graph, String> {
     Ok(b.build())
 }
 
-fn collect_queries(opts: &Options, n: usize) -> Result<Vec<(VertexId, VertexId)>, String> {
+// ---------------------------------------------------------------------------
+// Shared option plumbing
+// ---------------------------------------------------------------------------
+
+fn next_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} expects a value");
+        usage()
+    })
+}
+
+fn parse_or_usage<T: std::str::FromStr>(value: String, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value for {flag}: `{value}`");
+        usage()
+    })
+}
+
+/// Where the graph + index come from: built in memory from an edge list, or
+/// served from a persisted container.
+enum Source {
+    Built {
+        graph: Graph,
+        index: HighwayCoverIndex,
+    },
+    Stored(IndexStore),
+}
+
+impl Source {
+    fn views(&self) -> (GraphView<'_>, IndexView<'_>) {
+        match self {
+            Source::Built { graph, index } => (graph.as_view(), index.as_view()),
+            Source::Stored(store) => (store.graph(), store.index()),
+        }
+    }
+
+    /// Loads and reports to stderr: either build-from-edge-list or
+    /// mmap-from-container.
+    fn prepare(
+        index_path: Option<&str>,
+        graph_path: Option<&str>,
+        num_landmarks: usize,
+    ) -> Result<Self, String> {
+        match (index_path, graph_path) {
+            (Some(path), None) => {
+                let t0 = Instant::now();
+                let store = IndexStore::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+                let load_time = t0.elapsed();
+                let meta = store.meta();
+                eprintln!(
+                    "index file: {} vertices, {} edges, {} landmarks, {} label entries \
+                     ({:.1} KiB file, {} backing, loaded+validated in {:.1?}, no rebuild)",
+                    meta.num_vertices,
+                    meta.num_edges,
+                    meta.num_landmarks,
+                    meta.label_entries,
+                    store.len_bytes() as f64 / 1024.0,
+                    store.backing_kind(),
+                    load_time
+                );
+                Ok(Source::Stored(store))
+            }
+            (None, Some(path)) => {
+                let t0 = Instant::now();
+                let graph = load_graph(path)?;
+                let load_time = t0.elapsed();
+                let t1 = Instant::now();
+                let index = HighwayCoverIndex::build(&graph, IndexConfig { num_landmarks });
+                let build_time = t1.elapsed();
+                let stats = index.stats();
+                eprintln!(
+                    "graph: {} vertices, {} edges (loaded in {:.1?})",
+                    graph.num_vertices(),
+                    graph.num_edges(),
+                    load_time
+                );
+                eprintln!(
+                    "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), \
+                     {:.1} KiB, built in {:.1?}",
+                    stats.num_landmarks,
+                    stats.total_label_entries,
+                    stats.avg_label_size,
+                    stats.max_label_size,
+                    stats.bytes as f64 / 1024.0,
+                    build_time
+                );
+                Ok(Source::Built { graph, index })
+            }
+            (Some(_), Some(g)) => Err(format!(
+                "pass either --index or an edge-list path, not both (got `{g}` too)"
+            )),
+            (None, None) => Err("no input: pass --index FILE.hcl or an edge-list path".into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hcl build
+// ---------------------------------------------------------------------------
+
+fn cmd_build(args: Vec<String>) -> Result<(), String> {
+    let mut graph_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut num_landmarks = 16usize;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" | "-o" => out_path = Some(next_value(&mut args, "--out")),
+            "--landmarks" | "-k" => {
+                num_landmarks = parse_or_usage(next_value(&mut args, "--landmarks"), "--landmarks")
+            }
+            "--help" | "-h" => help(),
+            _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let graph_path = graph_path.unwrap_or_else(|| {
+        eprintln!("error: build needs an edge-list path");
+        usage()
+    });
+    let out_path = out_path.unwrap_or_else(|| format!("{graph_path}.hcl"));
+
+    let t0 = Instant::now();
+    let graph = load_graph(&graph_path)?;
+    let load_time = t0.elapsed();
+    let t1 = Instant::now();
+    let index = HighwayCoverIndex::build(&graph, IndexConfig { num_landmarks });
+    let build_time = t1.elapsed();
+    let stats = index.stats();
+    let t2 = Instant::now();
+    let bytes = hcl_store::save(&out_path, &graph, &index)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let save_time = t2.elapsed();
+
+    eprintln!(
+        "graph: {} vertices, {} edges (loaded in {:.1?})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        load_time
+    );
+    eprintln!(
+        "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), built in {:.1?}",
+        stats.num_landmarks,
+        stats.total_label_entries,
+        stats.avg_label_size,
+        stats.max_label_size,
+        build_time
+    );
+    eprintln!(
+        "wrote {out_path}: {bytes} bytes ({:.1} KiB) in {:.1?}",
+        bytes as f64 / 1024.0,
+        save_time
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// hcl query  (also the legacy no-subcommand mode)
+// ---------------------------------------------------------------------------
+
+struct QueryOptions {
+    index_path: Option<String>,
+    graph_path: Option<String>,
+    /// `Some` only when `--landmarks` was passed explicitly, so serving
+    /// from a stored index can reject the flag instead of ignoring it.
+    num_landmarks: Option<usize>,
+    queries_path: Option<String>,
+    random_queries: Option<usize>,
+    seed: u64,
+    verify: bool,
+}
+
+fn parse_query_args(args: Vec<String>) -> QueryOptions {
+    let mut opts = QueryOptions {
+        index_path: None,
+        graph_path: None,
+        num_landmarks: None,
+        queries_path: None,
+        random_queries: None,
+        seed: 0xC0FFEE,
+        verify: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--index" | "-i" => opts.index_path = Some(next_value(&mut args, "--index")),
+            "--landmarks" | "-k" => {
+                opts.num_landmarks = Some(parse_or_usage(
+                    next_value(&mut args, "--landmarks"),
+                    "--landmarks",
+                ))
+            }
+            "--queries" | "-q" => opts.queries_path = Some(next_value(&mut args, "--queries")),
+            "--random" => {
+                opts.random_queries = Some(parse_or_usage(
+                    next_value(&mut args, "--random"),
+                    "--random",
+                ))
+            }
+            "--seed" => opts.seed = parse_or_usage(next_value(&mut args, "--seed"), "--seed"),
+            "--verify" => opts.verify = true,
+            "--help" | "-h" => help(),
+            _ if opts.graph_path.is_none() && !arg.starts_with('-') => opts.graph_path = Some(arg),
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    if opts.queries_path.is_some() && opts.random_queries.is_some() {
+        eprintln!("error: --queries and --random are mutually exclusive");
+        usage();
+    }
+    if opts.index_path.is_some() && opts.num_landmarks.is_some() {
+        eprintln!("error: --landmarks only applies when building from an edge list");
+        usage();
+    }
+    opts
+}
+
+fn collect_queries(opts: &QueryOptions, n: usize) -> Result<Vec<(VertexId, VertexId)>, String> {
     if let Some(count) = opts.random_queries {
         if n == 0 {
             return Err("cannot generate random queries on an empty graph".into());
@@ -166,39 +371,14 @@ fn collect_queries(opts: &Options, n: usize) -> Result<Vec<(VertexId, VertexId)>
     parse_pairs(stdin.lock(), "stdin")
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args();
-
-    let t0 = Instant::now();
-    let graph = load_graph(&opts.graph_path)?;
-    let load_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let index = HighwayCoverIndex::build(
-        &graph,
-        IndexConfig {
-            num_landmarks: opts.num_landmarks,
-        },
-    );
-    let build_time = t1.elapsed();
-    let stats = index.stats();
-
-    eprintln!(
-        "graph: {} vertices, {} edges (loaded in {:.1?})",
-        graph.num_vertices(),
-        graph.num_edges(),
-        load_time
-    );
-    eprintln!(
-        "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), \
-         {:.1} KiB, built in {:.1?}",
-        stats.num_landmarks,
-        stats.total_label_entries,
-        stats.avg_label_size,
-        stats.max_label_size,
-        stats.bytes as f64 / 1024.0,
-        build_time
-    );
+fn cmd_query(args: Vec<String>) -> Result<(), String> {
+    let opts = parse_query_args(args);
+    let source = Source::prepare(
+        opts.index_path.as_deref(),
+        opts.graph_path.as_deref(),
+        opts.num_landmarks.unwrap_or(16),
+    )?;
+    let (graph, index) = source.views();
 
     let queries = collect_queries(&opts, graph.num_vertices())?;
     let n = graph.num_vertices() as u64;
@@ -214,7 +394,7 @@ fn run() -> Result<(), String> {
     let t2 = Instant::now();
     let mut answers = Vec::with_capacity(queries.len());
     for &(u, v) in &queries {
-        answers.push(index.query_with(&graph, &mut ctx, u, v));
+        answers.push(index.query_with(graph, &mut ctx, u, v));
     }
     let query_time = t2.elapsed();
 
@@ -239,7 +419,7 @@ fn run() -> Result<(), String> {
     if opts.verify {
         let t3 = Instant::now();
         for (&(u, v), &d) in queries.iter().zip(&answers) {
-            let oracle = bfs::distance(&graph, u, v);
+            let oracle = bfs::distance(graph, u, v);
             if d != oracle {
                 return Err(format!(
                     "VERIFICATION FAILED: query ({u}, {v}) = {d:?}, BFS oracle says {oracle:?}"
@@ -255,6 +435,169 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// hcl serve
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: Vec<String>) -> Result<(), String> {
+    let mut index_path: Option<String> = None;
+    let mut graph_path: Option<String> = None;
+    let mut num_landmarks: Option<usize> = None;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--index" | "-i" => index_path = Some(next_value(&mut args, "--index")),
+            "--landmarks" | "-k" => {
+                num_landmarks = Some(parse_or_usage(
+                    next_value(&mut args, "--landmarks"),
+                    "--landmarks",
+                ))
+            }
+            "--help" | "-h" => help(),
+            _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    if index_path.is_some() && num_landmarks.is_some() {
+        eprintln!("error: --landmarks only applies when building from an edge list");
+        usage();
+    }
+    let source = Source::prepare(
+        index_path.as_deref(),
+        graph_path.as_deref(),
+        num_landmarks.unwrap_or(16),
+    )?;
+    let (graph, index) = source.views();
+    let n = graph.num_vertices();
+
+    let stdin = std::io::stdin();
+    if stdin.is_terminal() {
+        eprintln!("serving: one `u v` pair per line, answers flushed per line, Ctrl-D to finish");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut ctx = QueryContext::new();
+    let mut served = 0u64;
+    let t0 = Instant::now();
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let pair = match parse_pair_line(&line, "stdin", lineno + 1) {
+            Ok(Some(pair)) => pair,
+            Ok(None) => continue,
+            Err(msg) => {
+                // A serving loop skips bad input instead of dying on it.
+                eprintln!("error: {msg}");
+                continue;
+            }
+        };
+        let (u, v) = pair;
+        if u as usize >= n || v as usize >= n {
+            eprintln!(
+                "error: stdin:{}: query ({u}, {v}) out of range (n = {n})",
+                lineno + 1
+            );
+            continue;
+        }
+        match index.query_with(graph, &mut ctx, u, v) {
+            Some(d) => writeln!(out, "{u} {v} {d}"),
+            None => writeln!(out, "{u} {v} inf"),
+        }
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("writing output: {e}"))?;
+        served += 1;
+    }
+    if served > 0 {
+        eprintln!("served {served} queries in {:.1?}", t0.elapsed());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// hcl inspect
+// ---------------------------------------------------------------------------
+
+fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => help(),
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("error: inspect needs an index-file path");
+        usage()
+    });
+
+    let t0 = Instant::now();
+    let store = IndexStore::open(&path).map_err(|e| format!("opening {path}: {e}"))?;
+    let load_time = t0.elapsed();
+    let meta = store.meta();
+    let stats = store.index().stats();
+
+    println!("file:          {path}");
+    println!(
+        "size:          {} bytes ({:.1} KiB)",
+        meta.file_len,
+        meta.file_len as f64 / 1024.0
+    );
+    println!(
+        "format:        HCLSTOR v{} (checksum {:#018x}, verified)",
+        meta.version, meta.checksum
+    );
+    println!(
+        "backing:       {} (validated in {:.1?})",
+        store.backing_kind(),
+        load_time
+    );
+    println!("vertices:      {}", meta.num_vertices);
+    println!("edges:         {}", meta.num_edges);
+    println!("landmarks:     {}", meta.num_landmarks);
+    println!(
+        "label entries: {} (avg {:.2}/vertex, max {})",
+        meta.label_entries, stats.avg_label_size, stats.max_label_size
+    );
+    println!("sections:");
+    for s in store.sections() {
+        println!(
+            "  {:<16} {:>12} B @ {:<10} ({} B/elem, {} elems)",
+            s.name,
+            s.len_bytes,
+            s.offset,
+            s.elem_size,
+            s.len_bytes / s.elem_size as u64
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    match args[0].as_str() {
+        "build" => cmd_build(args.split_off(1)),
+        "query" => cmd_query(args.split_off(1)),
+        "serve" => cmd_serve(args.split_off(1)),
+        "inspect" => cmd_inspect(args.split_off(1)),
+        "--help" | "-h" => help(),
+        // Legacy invocation: `hcl <graph.edges> [query flags]`.
+        _ => cmd_query(args),
+    }
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -262,5 +605,56 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
+        parse_pairs(std::io::Cursor::new(text), "test.edges")
+    }
+
+    #[test]
+    fn parses_plain_pairs_and_whitespace() {
+        assert_eq!(
+            parse("0 1\n2\t3\n  4   5  \n").unwrap(),
+            vec![(0, 1), (2, 3), (4, 5)]
+        );
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let text = "# header comment\n\n0 1\n   \n% metis-style comment\n1 2\n  # indented\n";
+        assert_eq!(parse(text).unwrap(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn errors_carry_file_and_line_and_token() {
+        let err = parse("0 1\nx 2\n").unwrap_err();
+        assert!(err.contains("test.edges:2"), "missing file:line in {err:?}");
+        assert!(err.contains("`x`"), "missing offending token in {err:?}");
+
+        let err = parse("0 1\n\n3\n").unwrap_err();
+        assert!(err.contains("test.edges:3"), "missing file:line in {err:?}");
+        assert!(err.contains("expected two"), "wrong message: {err:?}");
+
+        let err = parse("1 2 9\n").unwrap_err();
+        assert!(err.contains("test.edges:1"), "missing file:line in {err:?}");
+        assert!(err.contains("`9`"), "missing offending token in {err:?}");
+        assert!(
+            err.contains("weighted"),
+            "should hint at weighted lists: {err:?}"
+        );
+
+        // Negative ids name the token, not a bare parse failure.
+        let err = parse("-1 2\n").unwrap_err();
+        assert!(err.contains("`-1`"), "missing offending token in {err:?}");
+    }
+
+    #[test]
+    fn comment_only_input_is_empty_not_error() {
+        assert_eq!(parse("# nothing here\n% or here\n").unwrap(), vec![]);
     }
 }

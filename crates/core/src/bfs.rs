@@ -3,8 +3,12 @@
 //! These are deliberately simple and obviously correct: they serve as the
 //! ground truth that the hub-labelling index is property-tested against, and
 //! as the fallback search primitive inside the query engine.
+//!
+//! Both oracles accept anything convertible to a [`GraphView`] — an owned
+//! `&Graph` or a borrowed view over a memory-mapped store — so verification
+//! works identically on every backing.
 
-use crate::graph::{Graph, VertexId, INFINITY};
+use crate::graph::{GraphView, VertexId, INFINITY};
 use std::collections::VecDeque;
 
 /// Distances from `src` to every vertex, with [`INFINITY`] for vertices in
@@ -12,7 +16,8 @@ use std::collections::VecDeque;
 ///
 /// # Panics
 /// Panics if `src` is out of range.
-pub fn distances_from(graph: &Graph, src: VertexId) -> Vec<u32> {
+pub fn distances_from<'a>(graph: impl Into<GraphView<'a>>, src: VertexId) -> Vec<u32> {
+    let graph = graph.into();
     let mut dist = vec![INFINITY; graph.num_vertices()];
     dist[src as usize] = 0;
     let mut queue = VecDeque::new();
@@ -36,7 +41,8 @@ pub fn distances_from(graph: &Graph, src: VertexId) -> Vec<u32> {
 ///
 /// # Panics
 /// Panics if `u` or `v` is out of range.
-pub fn distance(graph: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
+pub fn distance<'a>(graph: impl Into<GraphView<'a>>, u: VertexId, v: VertexId) -> Option<u32> {
+    let graph = graph.into();
     assert!((v as usize) < graph.num_vertices(), "vertex out of range");
     if u == v {
         return Some(0);
@@ -63,6 +69,7 @@ pub fn distance(graph: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     #[test]
     fn distances_on_a_path() {
@@ -80,5 +87,13 @@ mod tests {
         let g = b.build();
         assert_eq!(distance(&g, 0, 3), None);
         assert_eq!(distances_from(&g, 0), vec![0, 1, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn views_answer_like_owned_graphs() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let view = g.as_view();
+        assert_eq!(distance(view, 0, 4), Some(4));
+        assert_eq!(distances_from(view, 1), distances_from(&g, 1));
     }
 }

@@ -1,10 +1,29 @@
-//! Immutable CSR (compressed sparse row) graph storage.
+//! Immutable CSR (compressed sparse row) graph storage — owned graphs and
+//! zero-copy borrowed views.
 //!
 //! The graph model throughout the workspace is the one used by the paper:
 //! unweighted, undirected, simple graphs. [`GraphBuilder`] accepts arbitrary
 //! messy edge lists (self-loops, duplicates, either endpoint order) and
 //! canonicalises them at build time, so the resulting [`Graph`] can assume a
 //! clean adjacency structure on every hot path.
+//!
+//! Storage comes in two flavours sharing one implementation:
+//!
+//! * [`Graph`] — owns its two arrays (`Vec`-backed). Produced by
+//!   [`GraphBuilder`] or [`Graph::from_csr`].
+//! * [`GraphView`] — borrows the same two arrays as slices. This is what
+//!   `hcl-store` hands out when serving a memory-mapped index file without
+//!   copying: the mmap'd bytes *are* the arrays.
+//!
+//! Every algorithm (BFS oracle, index build, query engine) is written
+//! against [`GraphView`]; `Graph` methods delegate through
+//! [`Graph::as_view`], so owned and mapped graphs behave identically.
+//!
+//! Offsets are stored as `u64` (not `usize`) so the in-memory layout matches
+//! the on-disk little-endian format exactly, making the borrowed view a
+//! straight reinterpretation of file bytes.
+
+use std::fmt;
 
 /// Vertex identifier. Dense, zero-based.
 pub type VertexId = u32;
@@ -12,30 +31,201 @@ pub type VertexId = u32;
 /// Sentinel distance meaning "unreachable" in `u32` distance arrays.
 pub const INFINITY: u32 = u32::MAX;
 
-/// An immutable unweighted, undirected simple graph in CSR form.
+/// Validation failure for raw CSR arrays ([`Graph::from_csr`] /
+/// [`GraphView::from_csr`]).
 ///
-/// Neighbour lists are stored back-to-back in one contiguous array and are
-/// sorted ascending per vertex, which makes iteration cache-friendly and
-/// membership checks binary-searchable.
+/// Untrusted CSR data (e.g. read from disk) is validated once up front;
+/// afterwards every traversal can rely on the invariants without rechecking
+/// them on hot paths.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Graph {
-    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
-    offsets: Vec<usize>,
-    /// Concatenated, per-vertex-sorted adjacency lists.
-    neighbors: Vec<VertexId>,
+#[non_exhaustive]
+pub enum CsrError {
+    /// The offsets array is empty; it must hold `n + 1` entries.
+    EmptyOffsets,
+    /// `offsets[0]` is not zero.
+    NonZeroFirstOffset,
+    /// The offsets array implies more vertices than [`VertexId`] can address.
+    TooManyVertices {
+        /// Vertex count implied by the offsets array.
+        num_vertices: u64,
+    },
+    /// `offsets[vertex + 1] < offsets[vertex]` (negative extent).
+    NonMonotoneOffsets {
+        /// Vertex whose extent is negative.
+        vertex: usize,
+    },
+    /// The final offset disagrees with the neighbour-array length.
+    LengthMismatch {
+        /// Value of the final offset.
+        last_offset: u64,
+        /// Actual length of the neighbour array.
+        neighbors_len: usize,
+    },
+    /// A neighbour id is out of range (`>= n`).
+    NeighborOutOfRange {
+        /// Vertex whose adjacency list holds the bad entry.
+        vertex: usize,
+        /// The out-of-range neighbour id.
+        neighbor: VertexId,
+    },
+    /// A vertex appears in its own adjacency list.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// An adjacency list is not strictly ascending (unsorted or duplicated).
+    UnsortedNeighbors {
+        /// Vertex whose adjacency list is malformed.
+        vertex: usize,
+    },
+    /// Edge `u -> v` is present without its reverse `v -> u`; the graph
+    /// model is undirected, so adjacency must be symmetric.
+    MissingReverseEdge {
+        /// Source of the one-directional edge.
+        u: VertexId,
+        /// Target of the one-directional edge.
+        v: VertexId,
+    },
 }
 
-impl Graph {
-    /// Builds a graph directly from an edge list.
-    ///
-    /// Convenience wrapper over [`GraphBuilder`]; the vertex count is
-    /// inferred as `max endpoint + 1` (0 for an empty list).
-    pub fn from_edges(edges: &[(VertexId, VertexId)]) -> Self {
-        let mut b = GraphBuilder::new();
-        for &(u, v) in edges {
-            b.add_edge(u, v);
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::EmptyOffsets => write!(f, "CSR offsets array is empty"),
+            CsrError::NonZeroFirstOffset => write!(f, "CSR offsets must start at 0"),
+            CsrError::TooManyVertices { num_vertices } => {
+                write!(f, "{num_vertices} vertices exceed the VertexId range")
+            }
+            CsrError::NonMonotoneOffsets { vertex } => {
+                write!(f, "CSR offsets decrease at vertex {vertex}")
+            }
+            CsrError::LengthMismatch {
+                last_offset,
+                neighbors_len,
+            } => write!(
+                f,
+                "final CSR offset {last_offset} != neighbour array length {neighbors_len}"
+            ),
+            CsrError::NeighborOutOfRange { vertex, neighbor } => {
+                write!(f, "vertex {vertex} has out-of-range neighbour {neighbor}")
+            }
+            CsrError::SelfLoop { vertex } => write!(f, "vertex {vertex} has a self-loop"),
+            CsrError::UnsortedNeighbors { vertex } => {
+                write!(
+                    f,
+                    "adjacency list of vertex {vertex} is not strictly ascending"
+                )
+            }
+            CsrError::MissingReverseEdge { u, v } => {
+                write!(f, "edge {u} -> {v} has no reverse edge {v} -> {u}")
+            }
         }
-        b.build()
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// A borrowed, zero-copy view of a CSR graph.
+///
+/// Layout-identical to [`Graph`], but the arrays live elsewhere — inside an
+/// owned `Graph`, or inside a memory-mapped index file. `Copy`, so pass it
+/// by value.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphView<'a> {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: &'a [u64],
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    neighbors: &'a [VertexId],
+}
+
+impl<'a> GraphView<'a> {
+    /// Builds a validated view over raw CSR arrays.
+    ///
+    /// Checks every structural invariant the traversal code relies on:
+    /// offsets are monotone and span the neighbour array, adjacency lists
+    /// are strictly ascending, in range, self-loop free, and symmetric
+    /// (this is an undirected graph). `O(n + m log m)` — run once per load,
+    /// never per query.
+    pub fn from_csr(offsets: &'a [u64], neighbors: &'a [VertexId]) -> Result<Self, CsrError> {
+        let view = Self::from_csr_unchecked(offsets, neighbors);
+        view.validate()?;
+        Ok(view)
+    }
+
+    /// Builds a view over raw CSR arrays **without validating them**.
+    ///
+    /// This is still a safe function: malformed arrays can cause wrong
+    /// answers or panics in later traversals, but never undefined
+    /// behaviour. Use only on arrays that already passed
+    /// [`GraphView::from_csr`] (e.g. re-borrowing from a validated store).
+    pub fn from_csr_unchecked(offsets: &'a [u64], neighbors: &'a [VertexId]) -> Self {
+        Self { offsets, neighbors }
+    }
+
+    fn validate(&self) -> Result<(), CsrError> {
+        let offsets = self.offsets;
+        if offsets.is_empty() {
+            return Err(CsrError::EmptyOffsets);
+        }
+        if offsets[0] != 0 {
+            return Err(CsrError::NonZeroFirstOffset);
+        }
+        let n = offsets.len() - 1;
+        if n as u64 > VertexId::MAX as u64 + 1 {
+            return Err(CsrError::TooManyVertices {
+                num_vertices: n as u64,
+            });
+        }
+        let mut prev = 0u64;
+        for (v, &off) in offsets.iter().enumerate().skip(1) {
+            if off < prev {
+                return Err(CsrError::NonMonotoneOffsets { vertex: v - 1 });
+            }
+            prev = off;
+        }
+        if prev != self.neighbors.len() as u64 {
+            return Err(CsrError::LengthMismatch {
+                last_offset: prev,
+                neighbors_len: self.neighbors.len(),
+            });
+        }
+        for v in 0..n {
+            let adj = &self.neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            let mut last: Option<VertexId> = None;
+            for &w in adj {
+                if w as usize >= n {
+                    return Err(CsrError::NeighborOutOfRange {
+                        vertex: v,
+                        neighbor: w,
+                    });
+                }
+                if w as usize == v {
+                    return Err(CsrError::SelfLoop { vertex: v });
+                }
+                if let Some(l) = last {
+                    if w <= l {
+                        return Err(CsrError::UnsortedNeighbors { vertex: v });
+                    }
+                }
+                last = Some(w);
+            }
+        }
+        // Symmetry: every directed entry must have its reverse.
+        for v in 0..n {
+            for &w in self.neighbors_of(v) {
+                if self.neighbors(w).binary_search(&(v as VertexId)).is_err() {
+                    return Err(CsrError::MissingReverseEdge {
+                        u: v as VertexId,
+                        v: w,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn neighbors_of(&self, v: usize) -> &'a [VertexId] {
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Number of vertices.
@@ -54,16 +244,15 @@ impl Graph {
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// The sorted neighbour list of vertex `v`.
     ///
     /// # Panics
     /// Panics if `v` is out of range.
-    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        let v = v as usize;
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    pub fn neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        self.neighbors_of(v as usize)
     }
 
     /// Whether `u` and `v` are adjacent (`O(log degree(u))`).
@@ -85,6 +274,122 @@ impl Graph {
         let mut order: Vec<VertexId> = (0..self.num_vertices() as VertexId).collect();
         order.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
         order
+    }
+
+    /// The raw CSR offsets array (`n + 1` entries), e.g. for serialisation.
+    pub fn csr_offsets(&self) -> &'a [u64] {
+        self.offsets
+    }
+
+    /// The raw concatenated neighbour array, e.g. for serialisation.
+    pub fn csr_neighbors(&self) -> &'a [VertexId] {
+        self.neighbors
+    }
+
+    /// Copies the view into an owned [`Graph`].
+    pub fn to_owned_graph(&self) -> Graph {
+        Graph {
+            offsets: self.offsets.to_vec(),
+            neighbors: self.neighbors.to_vec(),
+        }
+    }
+}
+
+/// An immutable unweighted, undirected simple graph in CSR form.
+///
+/// Neighbour lists are stored back-to-back in one contiguous array and are
+/// sorted ascending per vertex, which makes iteration cache-friendly and
+/// membership checks binary-searchable. All traversal methods delegate to
+/// [`GraphView`], so owned graphs and mmap-backed views share one code path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from an edge list.
+    ///
+    /// Convenience wrapper over [`GraphBuilder`]; the vertex count is
+    /// inferred as `max endpoint + 1` (0 for an empty list).
+    pub fn from_edges(edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Builds a graph from raw CSR arrays, validating every invariant
+    /// (see [`GraphView::from_csr`]).
+    pub fn from_csr(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self, CsrError> {
+        GraphView::from_csr(&offsets, &neighbors)?;
+        Ok(Self { offsets, neighbors })
+    }
+
+    /// A borrowed, `Copy` view of this graph. Cheap; use it to share one
+    /// code path between owned and memory-mapped graphs.
+    pub fn as_view(&self) -> GraphView<'_> {
+        GraphView {
+            offsets: &self.offsets,
+            neighbors: &self.neighbors,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.as_view().num_vertices()
+    }
+
+    /// Number of undirected edges (each edge counted once).
+    pub fn num_edges(&self) -> usize {
+        self.as_view().num_edges()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.as_view().degree(v)
+    }
+
+    /// The sorted neighbour list of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.as_view().neighbors(v)
+    }
+
+    /// Whether `u` and `v` are adjacent (`O(log degree(u))`).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.as_view().has_edge(u, v)
+    }
+
+    /// Vertices ranked by importance: descending degree, ties broken by
+    /// ascending id. See [`GraphView::rank_by_degree`].
+    pub fn rank_by_degree(&self) -> Vec<VertexId> {
+        self.as_view().rank_by_degree()
+    }
+
+    /// The raw CSR offsets array (`n + 1` entries), e.g. for serialisation.
+    pub fn csr_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour array, e.g. for serialisation.
+    pub fn csr_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+}
+
+impl<'a> From<&'a Graph> for GraphView<'a> {
+    fn from(g: &'a Graph) -> Self {
+        g.as_view()
     }
 }
 
@@ -136,20 +441,20 @@ impl GraphBuilder {
         canon.sort_unstable();
         canon.dedup();
 
-        let mut degrees = vec![0usize; n];
+        let mut degrees = vec![0u64; n];
         for &(u, v) in &canon {
             degrees[u as usize] += 1;
             degrees[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
+        let mut acc = 0u64;
         offsets.push(0);
         for &d in &degrees {
             acc += d;
             offsets.push(acc);
         }
-        let mut cursor = offsets.clone();
-        let mut neighbors = vec![0 as VertexId; acc];
+        let mut cursor: Vec<usize> = offsets[..n].iter().map(|&o| o as usize).collect();
+        let mut neighbors = vec![0 as VertexId; acc as usize];
         for &(u, v) in &canon {
             neighbors[cursor[u as usize]] = v;
             cursor[u as usize] += 1;
@@ -157,7 +462,7 @@ impl GraphBuilder {
             cursor[v as usize] += 1;
         }
         for v in 0..n {
-            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
         }
         Graph { offsets, neighbors }
     }
@@ -220,5 +525,68 @@ mod tests {
         assert_eq!(rank[1], 1); // degree 2, ties broken by id
         assert_eq!(rank[2], 2);
         assert_eq!(rank[3], 3);
+    }
+
+    #[test]
+    fn view_matches_owned_graph() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let v = g.as_view();
+        assert_eq!(v.num_vertices(), g.num_vertices());
+        assert_eq!(v.num_edges(), g.num_edges());
+        for x in 0..4 {
+            assert_eq!(v.neighbors(x), g.neighbors(x));
+            assert_eq!(v.degree(x), g.degree(x));
+        }
+        assert_eq!(v.rank_by_degree(), g.rank_by_degree());
+        assert_eq!(v.to_owned_graph(), g);
+    }
+
+    #[test]
+    fn from_csr_roundtrips_builder_output() {
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let rebuilt = Graph::from_csr(g.csr_offsets().to_vec(), g.csr_neighbors().to_vec())
+            .expect("builder output must be valid CSR");
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_arrays() {
+        assert_eq!(
+            GraphView::from_csr(&[], &[]).unwrap_err(),
+            CsrError::EmptyOffsets
+        );
+        assert_eq!(
+            GraphView::from_csr(&[1, 2], &[0, 0]).unwrap_err(),
+            CsrError::NonZeroFirstOffset
+        );
+        assert!(matches!(
+            GraphView::from_csr(&[0, 2, 1], &[1, 0]).unwrap_err(),
+            CsrError::NonMonotoneOffsets { vertex: 1 }
+        ));
+        assert!(matches!(
+            GraphView::from_csr(&[0, 1, 2], &[1, 0, 0]).unwrap_err(),
+            CsrError::LengthMismatch { .. }
+        ));
+        assert!(matches!(
+            GraphView::from_csr(&[0, 1, 2], &[7, 0]).unwrap_err(),
+            CsrError::NeighborOutOfRange {
+                vertex: 0,
+                neighbor: 7
+            }
+        ));
+        assert!(matches!(
+            GraphView::from_csr(&[0, 1, 2], &[0, 0]).unwrap_err(),
+            CsrError::SelfLoop { vertex: 0 }
+        ));
+        // 0 -> 1 without 1 -> 0.
+        assert!(matches!(
+            GraphView::from_csr(&[0, 1, 1], &[1]).unwrap_err(),
+            CsrError::MissingReverseEdge { u: 0, v: 1 }
+        ));
+        // Unsorted adjacency.
+        assert!(matches!(
+            GraphView::from_csr(&[0, 2, 3, 4], &[2, 1, 0, 0]).unwrap_err(),
+            CsrError::UnsortedNeighbors { vertex: 0 }
+        ));
     }
 }

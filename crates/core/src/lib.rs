@@ -5,13 +5,17 @@
 //!
 //! * [`graph::Graph`] — an immutable, cache-friendly CSR (compressed sparse
 //!   row) adjacency structure for unweighted undirected graphs, built from
-//!   arbitrary edge lists via [`graph::GraphBuilder`].
+//!   arbitrary edge lists via [`graph::GraphBuilder`], plus
+//!   [`graph::GraphView`], a borrowed zero-copy view over the same layout
+//!   used when serving memory-mapped index files. Raw CSR arrays can be
+//!   validated and adopted wholesale via [`graph::Graph::from_csr`].
 //! * [`bfs`] — plain breadth-first-search distance oracles. These are the
 //!   ground truth that the hub-labelling index in `hcl-index` is
-//!   property-tested against.
+//!   property-tested against. They run over views, so mapped graphs verify
+//!   identically to owned ones.
 //! * [`testkit`] — deterministic, seeded synthetic graph generators (paths,
-//!   cycles, stars, grids, Erdős–Rényi) so every crate in the workspace can
-//!   write reproducible property tests.
+//!   cycles, stars, grids, Erdős–Rényi, Barabási–Albert) so every crate in
+//!   the workspace can write reproducible property tests.
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -19,4 +23,4 @@ pub mod bfs;
 pub mod graph;
 pub mod testkit;
 
-pub use graph::{Graph, GraphBuilder, VertexId, INFINITY};
+pub use graph::{CsrError, Graph, GraphBuilder, GraphView, VertexId, INFINITY};

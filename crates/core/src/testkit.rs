@@ -133,6 +133,48 @@ pub fn erdos_renyi_avg_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
     b.build()
 }
 
+/// Seeded Barabási–Albert preferential-attachment graph — the power-law,
+/// hub-dominated topology the highway-cover scheme actually targets.
+///
+/// Starts from a star on `min(m + 1, n)` vertices, then attaches each new
+/// vertex to `m` *distinct* existing vertices sampled proportionally to
+/// degree via the repeated-endpoints multiset trick (every endpoint of every
+/// accepted edge is a draw ticket). Connected by construction, deterministic
+/// in `seed`; `m` is clamped to at least 1.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    let m = m.max(1);
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(n);
+    let core = (m + 1).min(n);
+    // Draw-ticket multiset: each accepted edge contributes both endpoints,
+    // so a vertex's ticket count equals its degree.
+    let mut tickets: Vec<VertexId> = Vec::with_capacity(2 * m * n.max(1));
+    for v in 1..core {
+        b.add_edge(0, v as VertexId);
+        tickets.push(0);
+        tickets.push(v as VertexId);
+    }
+    let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+    for v in core..n {
+        chosen.clear();
+        // `v >= m + 1` existing vertices and the star core alone offers
+        // `m + 1` distinct tickets, so `m` distinct draws always exist.
+        while chosen.len() < m {
+            let t = tickets[rng.next_below(tickets.len() as u64) as usize];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as VertexId, t);
+            tickets.push(v as VertexId);
+            tickets.push(t);
+        }
+    }
+    b.build()
+}
+
 /// Disjoint union of two generated graphs: `b`'s vertex ids are shifted
 /// past `a`'s. Guaranteed to contain cross-component (unreachable) pairs
 /// whenever both inputs are non-empty.
@@ -185,6 +227,34 @@ mod tests {
         let c = erdos_renyi(40, 0.1, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_hub_dominated() {
+        let g = barabasi_albert(300, 3, 11);
+        assert_eq!(g.num_vertices(), 300);
+        // Connected by construction: every distance from 0 is finite.
+        let dist = bfs::distances_from(&g, 0);
+        assert!(dist.iter().all(|&d| d != crate::INFINITY));
+        // Power-law skew: the biggest hub dwarfs the mean degree.
+        let max_deg = (0..300).map(|v| g.degree(v)).max().unwrap();
+        let avg_deg = 2.0 * g.num_edges() as f64 / 300.0;
+        assert!(
+            max_deg as f64 > 4.0 * avg_deg,
+            "expected hub domination, max {max_deg} vs avg {avg_deg:.1}"
+        );
+        // Deterministic in the seed.
+        assert_eq!(g, barabasi_albert(300, 3, 11));
+        assert_ne!(g, barabasi_albert(300, 3, 12));
+    }
+
+    #[test]
+    fn barabasi_albert_degenerate_sizes() {
+        assert_eq!(barabasi_albert(0, 3, 1).num_vertices(), 0);
+        assert_eq!(barabasi_albert(1, 3, 1).num_vertices(), 1);
+        let tiny = barabasi_albert(3, 5, 1); // n smaller than m + 1: pure star
+        assert_eq!(tiny.num_edges(), 2);
+        assert_eq!(tiny.degree(0), 2);
     }
 
     #[test]

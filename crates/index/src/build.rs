@@ -1,5 +1,6 @@
 //! Index construction: pruned landmark BFS and the highway matrix.
 
+use crate::view::IndexView;
 use hcl_core::{Graph, VertexId, INFINITY};
 use std::collections::VecDeque;
 
@@ -32,23 +33,28 @@ pub struct IndexStats {
     pub avg_label_size: f64,
     /// Largest single vertex label.
     pub max_label_size: usize,
-    /// Approximate heap footprint of the index in bytes.
+    /// Approximate flat footprint of the index arrays in bytes.
     pub bytes: usize,
 }
 
-/// A built highway-cover 2-hop labelling over one [`Graph`].
+/// A built highway-cover 2-hop labelling over one [`Graph`] — the owned,
+/// `Vec`-backed storage of the index.
 ///
 /// The index borrows nothing: it is a standalone snapshot that answers
 /// queries together with the graph it was built from (the fallback BFS
-/// needs adjacency). Label arrays are stored CSR-style in two flat vectors
-/// so the whole index is three allocations regardless of graph size.
+/// needs adjacency). Label arrays are stored CSR-style in flat vectors with
+/// fixed-width elements, so the layout matches `hcl-store`'s on-disk format
+/// and a file can be served back as a borrowed
+/// [`IndexView`](crate::IndexView) without copying. All read paths delegate
+/// through [`HighwayCoverIndex::as_view`].
 pub struct HighwayCoverIndex {
     /// Landmark rank → vertex id, in ranking order (rank 0 = highest degree).
     pub(crate) landmarks: Vec<VertexId>,
-    /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`].
+    /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`]; length is the
+    /// vertex count of the build graph.
     pub(crate) landmark_rank: Vec<u32>,
     /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
-    pub(crate) label_offsets: Vec<usize>,
+    pub(crate) label_offsets: Vec<u64>,
     /// Hub (landmark rank) per label entry, ascending within each vertex.
     pub(crate) label_hubs: Vec<u32>,
     /// Distance to the hub per label entry.
@@ -56,8 +62,6 @@ pub struct HighwayCoverIndex {
     /// Row-major `k × k` landmark-to-landmark distances, closed under
     /// shortest paths (Floyd–Warshall), [`INFINITY`] when disconnected.
     pub(crate) highway: Vec<u32>,
-    /// Vertex count of the graph the index was built for.
-    pub(crate) num_vertices: usize,
 }
 
 impl HighwayCoverIndex {
@@ -179,7 +183,7 @@ impl HighwayCoverIndex {
                 label_hubs.push(hub);
                 label_dists.push(d);
             }
-            label_offsets.push(label_hubs.len());
+            label_offsets.push(label_hubs.len() as u64);
         }
 
         Self {
@@ -189,7 +193,20 @@ impl HighwayCoverIndex {
             label_hubs,
             label_dists,
             highway,
-            num_vertices: n,
+        }
+    }
+
+    /// A borrowed, `Copy` view of this index. Cheap; this is the type the
+    /// whole query engine is implemented on, shared with mmap-backed
+    /// storage.
+    pub fn as_view(&self) -> IndexView<'_> {
+        IndexView {
+            landmarks: &self.landmarks,
+            landmark_rank: &self.landmark_rank,
+            label_offsets: &self.label_offsets,
+            label_hubs: &self.label_hubs,
+            label_dists: &self.label_dists,
+            highway: &self.highway,
         }
     }
 
@@ -200,44 +217,22 @@ impl HighwayCoverIndex {
 
     /// Vertex count of the graph this index was built for.
     pub fn num_vertices(&self) -> usize {
-        self.num_vertices
+        self.landmark_rank.len()
     }
 
     /// The `(hub rank, distance)` label entries of vertex `v`, hub-sorted.
     pub fn label(&self, v: VertexId) -> impl Iterator<Item = (u32, u32)> + '_ {
-        let range = self.label_offsets[v as usize]..self.label_offsets[v as usize + 1];
-        self.label_hubs[range.clone()]
-            .iter()
-            .copied()
-            .zip(self.label_dists[range].iter().copied())
+        self.as_view().label(v)
     }
 
     /// Whether vertex `v` is a landmark.
     pub fn is_landmark(&self, v: VertexId) -> bool {
-        self.landmark_rank[v as usize] != NOT_A_LANDMARK
+        self.as_view().is_landmark(v)
     }
 
     /// Size statistics for logging and tuning.
     pub fn stats(&self) -> IndexStats {
-        let total = self.label_hubs.len();
-        let n = self.num_vertices.max(1);
-        let max = (0..self.num_vertices)
-            .map(|v| self.label_offsets[v + 1] - self.label_offsets[v])
-            .max()
-            .unwrap_or(0);
-        let bytes = self.landmarks.len() * std::mem::size_of::<VertexId>()
-            + self.landmark_rank.len() * std::mem::size_of::<u32>()
-            + self.label_offsets.len() * std::mem::size_of::<usize>()
-            + self.label_hubs.len() * std::mem::size_of::<u32>()
-            + self.label_dists.len() * std::mem::size_of::<u32>()
-            + self.highway.len() * std::mem::size_of::<u32>();
-        IndexStats {
-            num_landmarks: self.landmarks.len(),
-            total_label_entries: total,
-            avg_label_size: total as f64 / n as f64,
-            max_label_size: max,
-            bytes,
-        }
+        self.as_view().stats()
     }
 }
 

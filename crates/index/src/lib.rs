@@ -18,6 +18,14 @@
 //! shortest paths in complex networks, and the fallback BFS explores only
 //! the sparse landmark-free residue of the graph.
 //!
+//! Storage comes in two backings sharing one query engine:
+//!
+//! * [`HighwayCoverIndex`] — owned `Vec`s, produced by a build;
+//! * [`IndexView`] — six borrowed slices over the identical flat layout,
+//!   which is what `hcl-store` serves straight out of a memory-mapped file.
+//!   Untrusted slices are admitted through [`IndexView::from_parts`], which
+//!   validates every invariant the engine indexes by.
+//!
 //! Every query result is exact; the test suite property-checks the engine
 //! against the plain BFS oracle from `hcl-core` over multiple graph
 //! families, seeds, and landmark counts.
@@ -26,6 +34,8 @@
 
 mod build;
 mod query;
+mod view;
 
 pub use build::{HighwayCoverIndex, IndexConfig, IndexStats};
 pub use query::QueryContext;
+pub use view::{IndexDataError, IndexView};

@@ -1,8 +1,15 @@
 //! Query evaluation: label merge upper bound + landmark-avoiding
 //! bounded bidirectional BFS.
+//!
+//! Everything here is implemented on [`IndexView`], the borrowed
+//! label-storage abstraction, so the identical machine code serves an owned
+//! [`HighwayCoverIndex`] and a memory-mapped `hcl-store` file. The owned
+//! type's query methods are thin delegations through
+//! [`HighwayCoverIndex::as_view`].
 
 use crate::build::{HighwayCoverIndex, NOT_A_LANDMARK};
-use hcl_core::{Graph, VertexId, INFINITY};
+use crate::view::IndexView;
+use hcl_core::{Graph, GraphView, VertexId, INFINITY};
 
 const INF64: u64 = u64::MAX;
 
@@ -11,8 +18,10 @@ const INF64: u64 = u64::MAX;
 /// A query needs two distance arrays and a few frontier vectors; allocating
 /// them per call would dominate the cost of cheap queries. Create one
 /// context per thread (or per serving task) and pass it to
-/// [`HighwayCoverIndex::query_with`]. All buffers are reset between
-/// queries via touched-lists, so reuse is `O(visited)`, not `O(n)`.
+/// [`IndexView::query_with`]. All buffers are reset between queries via
+/// touched-lists, so reuse is `O(visited)`, not `O(n)`. One context can be
+/// shared across different indexes and backings; buffers grow to the
+/// largest graph seen.
 #[derive(Default)]
 pub struct QueryContext {
     dist_fwd: Vec<u32>,
@@ -51,10 +60,26 @@ impl HighwayCoverIndex {
     /// yields meaningless answers — always query with the build graph.
     pub fn query(&self, graph: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
         let mut ctx = QueryContext::new();
-        self.query_with(graph, &mut ctx, u, v)
+        self.as_view().query_with(graph, &mut ctx, u, v)
     }
 
     /// Exact distance between `u` and `v` reusing caller-owned scratch.
+    /// See [`IndexView::query_with`] (to which this delegates) for the
+    /// algorithm and panics.
+    pub fn query_with(
+        &self,
+        graph: &Graph,
+        ctx: &mut QueryContext,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<u32> {
+        self.as_view().query_with(graph, ctx, u, v)
+    }
+}
+
+impl<'a> IndexView<'a> {
+    /// Exact distance between `u` and `v`, or `None` if disconnected,
+    /// reusing caller-owned scratch.
     ///
     /// Evaluation is the paper's two-phase scheme:
     ///
@@ -71,14 +96,15 @@ impl HighwayCoverIndex {
     /// vertex count than the graph the index was built from. Passing a
     /// *different* graph with the same vertex count is not detected and
     /// yields meaningless answers — always query with the build graph.
-    pub fn query_with(
+    pub fn query_with<'g>(
         &self,
-        graph: &Graph,
+        graph: impl Into<GraphView<'g>>,
         ctx: &mut QueryContext,
         u: VertexId,
         v: VertexId,
     ) -> Option<u32> {
-        let n = self.num_vertices;
+        let graph = graph.into();
+        let n = self.num_vertices();
         assert_eq!(
             graph.num_vertices(),
             n,
@@ -104,12 +130,12 @@ impl HighwayCoverIndex {
     /// `u64::MAX` when the labels certify nothing.
     fn label_upper_bound(&self, u: VertexId, v: VertexId) -> u64 {
         let (u_lo, u_hi) = (
-            self.label_offsets[u as usize],
-            self.label_offsets[u as usize + 1],
+            self.label_offsets[u as usize] as usize,
+            self.label_offsets[u as usize + 1] as usize,
         );
         let (v_lo, v_hi) = (
-            self.label_offsets[v as usize],
-            self.label_offsets[v as usize + 1],
+            self.label_offsets[v as usize] as usize,
+            self.label_offsets[v as usize + 1] as usize,
         );
         let mut best = INF64;
 
@@ -163,13 +189,13 @@ impl HighwayCoverIndex {
     /// beat the current best.
     fn residual_bfs(
         &self,
-        graph: &Graph,
+        graph: GraphView<'_>,
         ctx: &mut QueryContext,
         u: VertexId,
         v: VertexId,
         bound: u64,
     ) -> u64 {
-        let n = self.num_vertices;
+        let n = self.num_vertices();
         ctx.ensure_capacity(n);
         ctx.frontier_fwd.clear();
         ctx.frontier_bwd.clear();

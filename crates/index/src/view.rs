@@ -1,0 +1,523 @@
+//! Borrowed, zero-copy views of a highway-cover index.
+//!
+//! [`IndexView`] is the label-storage abstraction of the crate: the whole
+//! query engine is implemented against it, and two backings provide it —
+//!
+//! * [`HighwayCoverIndex`](crate::HighwayCoverIndex) (owned `Vec`s, produced
+//!   by a build) via [`HighwayCoverIndex::as_view`](crate::HighwayCoverIndex::as_view),
+//! * `hcl-store`'s memory-mapped files, whose validated byte ranges are
+//!   reinterpreted as the same six slices without copying.
+//!
+//! Untrusted data enters through [`IndexView::from_parts`], which checks
+//! every structural invariant the query engine relies on, so hot paths can
+//! index unchecked without risking panics on corrupt input.
+
+use crate::build::{HighwayCoverIndex, IndexStats, NOT_A_LANDMARK};
+use hcl_core::VertexId;
+use std::fmt;
+
+/// Validation failure for raw index arrays ([`IndexView::from_parts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IndexDataError {
+    /// `label_offsets` must hold exactly `num_vertices + 1` entries.
+    OffsetsLength {
+        /// Expected entry count (`num_vertices + 1`).
+        expected: usize,
+        /// Actual entry count.
+        found: usize,
+    },
+    /// `label_offsets[0]` is not zero.
+    NonZeroFirstOffset,
+    /// `label_offsets` decreases at some vertex.
+    NonMonotoneOffsets {
+        /// Vertex whose label extent is negative.
+        vertex: usize,
+    },
+    /// The final label offset disagrees with the hub/distance array lengths.
+    EntriesLengthMismatch {
+        /// Value of the final label offset.
+        offsets_total: u64,
+        /// Length of the hub array.
+        hubs_len: usize,
+        /// Length of the distance array.
+        dists_len: usize,
+    },
+    /// More landmarks than vertices.
+    TooManyLandmarks {
+        /// Number of landmarks.
+        landmarks: usize,
+        /// Number of vertices.
+        vertices: usize,
+    },
+    /// The highway matrix is not `k × k`.
+    HighwayShape {
+        /// Number of landmarks `k`.
+        landmarks: usize,
+        /// Actual highway array length.
+        found: usize,
+    },
+    /// A landmark vertex id is out of range.
+    LandmarkOutOfRange {
+        /// Rank of the bad landmark.
+        rank: usize,
+        /// The out-of-range vertex id.
+        vertex: VertexId,
+    },
+    /// `landmark_rank` and `landmarks` disagree (not inverse permutations).
+    RankTableMismatch {
+        /// Vertex at which the disagreement was detected.
+        vertex: VertexId,
+    },
+    /// A label hub rank is `>= k`.
+    HubOutOfRange {
+        /// Vertex whose label holds the bad hub.
+        vertex: usize,
+        /// The out-of-range hub rank.
+        hub: u32,
+    },
+    /// A vertex label is not strictly ascending by hub rank.
+    UnsortedHubs {
+        /// Vertex whose label is malformed.
+        vertex: usize,
+    },
+    /// A highway diagonal entry is non-zero.
+    HighwayDiagonal {
+        /// Rank with `highway[r][r] != 0`.
+        rank: usize,
+    },
+    /// The highway matrix is asymmetric (the graph is undirected).
+    HighwayAsymmetric {
+        /// First rank of the asymmetric pair.
+        a: usize,
+        /// Second rank of the asymmetric pair.
+        b: usize,
+    },
+}
+
+impl fmt::Display for IndexDataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexDataError::OffsetsLength { expected, found } => {
+                write!(f, "label offsets hold {found} entries, expected {expected}")
+            }
+            IndexDataError::NonZeroFirstOffset => write!(f, "label offsets must start at 0"),
+            IndexDataError::NonMonotoneOffsets { vertex } => {
+                write!(f, "label offsets decrease at vertex {vertex}")
+            }
+            IndexDataError::EntriesLengthMismatch {
+                offsets_total,
+                hubs_len,
+                dists_len,
+            } => write!(
+                f,
+                "final label offset {offsets_total} disagrees with hub/dist lengths \
+                 {hubs_len}/{dists_len}"
+            ),
+            IndexDataError::TooManyLandmarks {
+                landmarks,
+                vertices,
+            } => {
+                write!(f, "{landmarks} landmarks on a {vertices}-vertex graph")
+            }
+            IndexDataError::HighwayShape { landmarks, found } => {
+                write!(f, "highway has {found} entries, expected {landmarks}²")
+            }
+            IndexDataError::LandmarkOutOfRange { rank, vertex } => {
+                write!(f, "landmark {rank} is out-of-range vertex {vertex}")
+            }
+            IndexDataError::RankTableMismatch { vertex } => {
+                write!(
+                    f,
+                    "landmark rank table disagrees with landmark list at vertex {vertex}"
+                )
+            }
+            IndexDataError::HubOutOfRange { vertex, hub } => {
+                write!(
+                    f,
+                    "label of vertex {vertex} references out-of-range hub {hub}"
+                )
+            }
+            IndexDataError::UnsortedHubs { vertex } => {
+                write!(
+                    f,
+                    "label of vertex {vertex} is not strictly ascending by hub"
+                )
+            }
+            IndexDataError::HighwayDiagonal { rank } => {
+                write!(f, "highway diagonal entry {rank} is non-zero")
+            }
+            IndexDataError::HighwayAsymmetric { a, b } => {
+                write!(f, "highway entries ({a}, {b}) and ({b}, {a}) disagree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexDataError {}
+
+/// A borrowed, zero-copy view of a highway-cover index.
+///
+/// Six slices, layout-identical to the owned
+/// [`HighwayCoverIndex`](crate::HighwayCoverIndex); see the module docs.
+/// `Copy`, so pass it by value. All query entry points
+/// ([`query_with`](IndexView::query_with) and friends) live on this type.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexView<'a> {
+    /// Landmark rank → vertex id, in ranking order.
+    pub(crate) landmarks: &'a [VertexId],
+    /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`]; length is the
+    /// vertex count.
+    pub(crate) landmark_rank: &'a [u32],
+    /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
+    pub(crate) label_offsets: &'a [u64],
+    /// Hub (landmark rank) per label entry, ascending within each vertex.
+    pub(crate) label_hubs: &'a [u32],
+    /// Distance to the hub per label entry.
+    pub(crate) label_dists: &'a [u32],
+    /// Row-major `k × k` closed landmark-to-landmark distances.
+    pub(crate) highway: &'a [u32],
+}
+
+impl<'a> IndexView<'a> {
+    /// Builds a validated view over raw index arrays.
+    ///
+    /// Checks every structural invariant the query engine indexes by:
+    /// label offsets monotone and spanning the entry arrays, hubs strictly
+    /// ascending and `< k`, `landmarks`/`landmark_rank` mutually inverse,
+    /// highway `k × k` with zero diagonal and symmetric. `O(n + entries +
+    /// k²)` — run once per load. Semantic correctness of the *distances*
+    /// is not (cannot cheaply be) verified here; a tampered-but-well-formed
+    /// file yields wrong answers, never panics or UB.
+    pub fn from_parts(
+        landmarks: &'a [VertexId],
+        landmark_rank: &'a [u32],
+        label_offsets: &'a [u64],
+        label_hubs: &'a [u32],
+        label_dists: &'a [u32],
+        highway: &'a [u32],
+    ) -> Result<Self, IndexDataError> {
+        let view = Self::from_parts_unchecked(
+            landmarks,
+            landmark_rank,
+            label_offsets,
+            label_hubs,
+            label_dists,
+            highway,
+        );
+        view.validate()?;
+        Ok(view)
+    }
+
+    /// Builds a view **without validating** (see
+    /// [`from_parts`](IndexView::from_parts) for what is skipped).
+    ///
+    /// Still a safe function: malformed arrays can cause wrong answers or
+    /// panics later, never undefined behaviour. Use only on arrays that
+    /// already passed validation.
+    pub fn from_parts_unchecked(
+        landmarks: &'a [VertexId],
+        landmark_rank: &'a [u32],
+        label_offsets: &'a [u64],
+        label_hubs: &'a [u32],
+        label_dists: &'a [u32],
+        highway: &'a [u32],
+    ) -> Self {
+        Self {
+            landmarks,
+            landmark_rank,
+            label_offsets,
+            label_hubs,
+            label_dists,
+            highway,
+        }
+    }
+
+    fn validate(&self) -> Result<(), IndexDataError> {
+        let n = self.landmark_rank.len();
+        let k = self.landmarks.len();
+        if self.label_offsets.len() != n + 1 {
+            return Err(IndexDataError::OffsetsLength {
+                expected: n + 1,
+                found: self.label_offsets.len(),
+            });
+        }
+        if self.label_offsets[0] != 0 {
+            return Err(IndexDataError::NonZeroFirstOffset);
+        }
+        let mut prev = 0u64;
+        for (v, &off) in self.label_offsets.iter().enumerate().skip(1) {
+            if off < prev {
+                return Err(IndexDataError::NonMonotoneOffsets { vertex: v - 1 });
+            }
+            prev = off;
+        }
+        if prev != self.label_hubs.len() as u64 || self.label_hubs.len() != self.label_dists.len() {
+            return Err(IndexDataError::EntriesLengthMismatch {
+                offsets_total: prev,
+                hubs_len: self.label_hubs.len(),
+                dists_len: self.label_dists.len(),
+            });
+        }
+        if k > n {
+            return Err(IndexDataError::TooManyLandmarks {
+                landmarks: k,
+                vertices: n,
+            });
+        }
+        if self.highway.len() != k * k {
+            return Err(IndexDataError::HighwayShape {
+                landmarks: k,
+                found: self.highway.len(),
+            });
+        }
+        // `landmarks` and `landmark_rank` must be mutually inverse.
+        for (rank, &v) in self.landmarks.iter().enumerate() {
+            if (v as usize) >= n {
+                return Err(IndexDataError::LandmarkOutOfRange { rank, vertex: v });
+            }
+            if self.landmark_rank[v as usize] != rank as u32 {
+                return Err(IndexDataError::RankTableMismatch { vertex: v });
+            }
+        }
+        for (v, &rank) in self.landmark_rank.iter().enumerate() {
+            if rank != NOT_A_LANDMARK
+                && (rank as usize >= k || self.landmarks[rank as usize] as usize != v)
+            {
+                return Err(IndexDataError::RankTableMismatch {
+                    vertex: v as VertexId,
+                });
+            }
+        }
+        // Labels: hubs strictly ascending and in range.
+        for v in 0..n {
+            let lo = self.label_offsets[v] as usize;
+            let hi = self.label_offsets[v + 1] as usize;
+            let mut last: Option<u32> = None;
+            for &hub in &self.label_hubs[lo..hi] {
+                if hub as usize >= k {
+                    return Err(IndexDataError::HubOutOfRange { vertex: v, hub });
+                }
+                if let Some(l) = last {
+                    if hub <= l {
+                        return Err(IndexDataError::UnsortedHubs { vertex: v });
+                    }
+                }
+                last = Some(hub);
+            }
+        }
+        // Highway: zero diagonal, symmetric.
+        for a in 0..k {
+            if self.highway[a * k + a] != 0 {
+                return Err(IndexDataError::HighwayDiagonal { rank: a });
+            }
+            for b in (a + 1)..k {
+                if self.highway[a * k + b] != self.highway[b * k + a] {
+                    return Err(IndexDataError::HighwayAsymmetric { a, b });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of landmarks in the index.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Vertex count of the graph this index was built for.
+    pub fn num_vertices(&self) -> usize {
+        self.landmark_rank.len()
+    }
+
+    /// The `(hub rank, distance)` label entries of vertex `v`, hub-sorted.
+    pub fn label(&self, v: VertexId) -> impl Iterator<Item = (u32, u32)> + 'a {
+        let lo = self.label_offsets[v as usize] as usize;
+        let hi = self.label_offsets[v as usize + 1] as usize;
+        self.label_hubs[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.label_dists[lo..hi].iter().copied())
+    }
+
+    /// Whether vertex `v` is a landmark.
+    pub fn is_landmark(&self, v: VertexId) -> bool {
+        self.landmark_rank[v as usize] != NOT_A_LANDMARK
+    }
+
+    /// Landmark rank → vertex id, in ranking order (for serialisation).
+    pub fn landmarks(&self) -> &'a [VertexId] {
+        self.landmarks
+    }
+
+    /// Vertex id → landmark rank array (for serialisation).
+    pub fn landmark_rank(&self) -> &'a [u32] {
+        self.landmark_rank
+    }
+
+    /// CSR label offsets, `n + 1` entries (for serialisation).
+    pub fn label_offsets(&self) -> &'a [u64] {
+        self.label_offsets
+    }
+
+    /// Flat per-entry hub ranks (for serialisation).
+    pub fn label_hubs(&self) -> &'a [u32] {
+        self.label_hubs
+    }
+
+    /// Flat per-entry hub distances (for serialisation).
+    pub fn label_dists(&self) -> &'a [u32] {
+        self.label_dists
+    }
+
+    /// Row-major `k × k` closed highway matrix (for serialisation).
+    pub fn highway(&self) -> &'a [u32] {
+        self.highway
+    }
+
+    /// Copies the view into an owned [`HighwayCoverIndex`].
+    pub fn to_owned_index(&self) -> HighwayCoverIndex {
+        HighwayCoverIndex {
+            landmarks: self.landmarks.to_vec(),
+            landmark_rank: self.landmark_rank.to_vec(),
+            label_offsets: self.label_offsets.to_vec(),
+            label_hubs: self.label_hubs.to_vec(),
+            label_dists: self.label_dists.to_vec(),
+            highway: self.highway.to_vec(),
+        }
+    }
+
+    /// Size statistics for logging and tuning.
+    pub fn stats(&self) -> IndexStats {
+        let total = self.label_hubs.len();
+        let n = self.num_vertices();
+        let max = (0..n)
+            .map(|v| (self.label_offsets[v + 1] - self.label_offsets[v]) as usize)
+            .max()
+            .unwrap_or(0);
+        let bytes = std::mem::size_of_val(self.landmarks)
+            + std::mem::size_of_val(self.landmark_rank)
+            + std::mem::size_of_val(self.label_offsets)
+            + std::mem::size_of_val(self.label_hubs)
+            + std::mem::size_of_val(self.label_dists)
+            + std::mem::size_of_val(self.highway);
+        IndexStats {
+            num_landmarks: self.landmarks.len(),
+            total_label_entries: total,
+            avg_label_size: total as f64 / n.max(1) as f64,
+            max_label_size: max,
+            bytes,
+        }
+    }
+}
+
+impl<'a> From<&'a HighwayCoverIndex> for IndexView<'a> {
+    fn from(idx: &'a HighwayCoverIndex) -> Self {
+        idx.as_view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexConfig;
+    use hcl_core::testkit;
+
+    #[test]
+    fn build_output_validates_cleanly() {
+        for k in [0, 1, 4, 16] {
+            let g = testkit::erdos_renyi(50, 0.08, 9);
+            let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+            let v = idx.as_view();
+            let revalidated = IndexView::from_parts(
+                v.landmarks(),
+                v.landmark_rank(),
+                v.label_offsets(),
+                v.label_hubs(),
+                v.label_dists(),
+                v.highway(),
+            )
+            .expect("freshly built index must validate");
+            assert_eq!(revalidated.num_landmarks(), idx.num_landmarks());
+            assert_eq!(revalidated.num_vertices(), idx.num_vertices());
+        }
+    }
+
+    #[test]
+    fn to_owned_index_roundtrips() {
+        let g = testkit::grid(5, 5);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 6 });
+        let copy = idx.as_view().to_owned_index();
+        for v in 0..25 {
+            assert_eq!(
+                idx.label(v).collect::<Vec<_>>(),
+                copy.label(v).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(idx.stats().bytes, copy.stats().bytes);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_arrays() {
+        // Minimal 2-vertex, 1-landmark shape.
+        let landmarks: &[u32] = &[0];
+        let rank: &[u32] = &[0, NOT_A_LANDMARK];
+        let offsets: &[u64] = &[0, 1, 2];
+        let hubs: &[u32] = &[0, 0];
+        let dists: &[u32] = &[0, 1];
+        let highway: &[u32] = &[0];
+        assert!(IndexView::from_parts(landmarks, rank, offsets, hubs, dists, highway).is_ok());
+
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, &[0, 1], hubs, dists, highway).unwrap_err(),
+            IndexDataError::OffsetsLength { .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, &[0, 2, 1], hubs, dists, highway).unwrap_err(),
+            IndexDataError::NonMonotoneOffsets { .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, &[0, 1, 3], hubs, dists, highway).unwrap_err(),
+            IndexDataError::EntriesLengthMismatch { .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, offsets, &[5, 0], dists, highway).unwrap_err(),
+            IndexDataError::HubOutOfRange { hub: 5, .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, offsets, hubs, dists, &[0, 0]).unwrap_err(),
+            IndexDataError::HighwayShape { .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(&[9], rank, offsets, hubs, dists, highway).unwrap_err(),
+            IndexDataError::LandmarkOutOfRange { vertex: 9, .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, &[0, 0], offsets, hubs, dists, highway).unwrap_err(),
+            IndexDataError::RankTableMismatch { .. }
+        ));
+        assert!(matches!(
+            IndexView::from_parts(landmarks, rank, offsets, hubs, dists, &[3]).unwrap_err(),
+            IndexDataError::HighwayDiagonal { .. }
+        ));
+        // Duplicate hub within one vertex label.
+        assert!(matches!(
+            IndexView::from_parts(
+                &[0, 1],
+                &[0, 1],
+                &[0, 2, 2],
+                &[0, 0],
+                &[0, 1],
+                &[0, 1, 1, 0]
+            )
+            .unwrap_err(),
+            IndexDataError::UnsortedHubs { vertex: 0 }
+        ));
+        // Asymmetric highway on the same 2-landmark shape.
+        assert!(matches!(
+            IndexView::from_parts(&[0, 1], &[0, 1], &[0, 1, 1], &[0], &[0], &[0, 1, 2, 0])
+                .unwrap_err(),
+            IndexDataError::HighwayAsymmetric { .. }
+        ));
+    }
+}

@@ -68,6 +68,38 @@ fn family_erdos_renyi() {
 }
 
 #[test]
+fn family_barabasi_albert() {
+    // The power-law family the paper's hub-domination argument targets:
+    // a few high-degree hubs should cover almost all shortest paths.
+    for seed in 0..3 {
+        for &m in &[1, 3] {
+            let g = testkit::barabasi_albert(42, m, seed);
+            assert_matches_oracle(&format!("ba(42, {m}, seed {seed})"), &g, KS);
+        }
+    }
+}
+
+#[test]
+fn queries_over_views_match_owned_index() {
+    // The same queries must produce identical answers whether the engine
+    // runs over the owned index/graph or over borrowed views — this is the
+    // abstraction `hcl-store` relies on to serve mmap'd files.
+    let g = testkit::barabasi_albert(50, 2, 5);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 8 });
+    let (gv, iv) = (g.as_view(), idx.as_view());
+    let mut ctx = QueryContext::new();
+    for u in 0..50 {
+        for v in 0..50 {
+            assert_eq!(
+                iv.query_with(gv, &mut ctx, u, v),
+                idx.query_with(&g, &mut ctx, u, v),
+                "view/owned disagreement at ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
 fn family_disconnected_returns_none() {
     // Disjoint union guarantees cross-component pairs; the oracle comparison
     // above already checks them, but assert explicitly that `None` shows up.

@@ -1,0 +1,203 @@
+//! Micro-benchmark for the storage layer: index build, serialise, save,
+//! cold mmap load, and query latency *through the mapped file* on a
+//! 10k-vertex Barabási–Albert (power-law) graph — the hub-dominated family
+//! the paper's scheme targets. Results land in `BENCH_pr2.json` at the
+//! repo root. Plain `std::time` harness (the container has no registry
+//! access, so no criterion).
+
+use hcl_core::{bfs, testkit, VertexId};
+use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use hcl_store::IndexStore;
+use std::time::Instant;
+
+const NUM_VERTICES: usize = 10_000;
+const ATTACH_EDGES: usize = 5;
+const SEED: u64 = 2025;
+const NUM_QUERIES: usize = 20_000;
+const BUILD_REPS: usize = 3;
+const LOAD_REPS: usize = 5;
+
+fn percentile(sorted_ns: &[u128], p: f64) -> u128 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+fn main() {
+    let g = testkit::barabasi_albert(NUM_VERTICES, ATTACH_EDGES, SEED);
+    eprintln!(
+        "bench graph: barabasi_albert({NUM_VERTICES}, {ATTACH_EDGES}) — {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Index build: best of BUILD_REPS.
+    let mut build_ns = Vec::new();
+    let mut index = None;
+    for _ in 0..BUILD_REPS {
+        let t = Instant::now();
+        let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+        build_ns.push(t.elapsed().as_nanos());
+        index = Some(idx);
+    }
+    let index = index.expect("BUILD_REPS > 0");
+    let stats = index.stats();
+    let best_build_ns = *build_ns.iter().min().expect("non-empty");
+    eprintln!(
+        "build: best of {BUILD_REPS} = {:.2} ms ({} label entries, avg {:.2}/vertex)",
+        best_build_ns as f64 / 1e6,
+        stats.total_label_entries,
+        stats.avg_label_size
+    );
+
+    // Serialise (in memory) and save (to disk).
+    let t = Instant::now();
+    let bytes = hcl_store::serialize(&g, &index).expect("serialize");
+    let serialize_ns = t.elapsed().as_nanos();
+    let mut path = std::env::temp_dir();
+    path.push(format!("hcl_bench_pr2_{}.hcl", std::process::id()));
+    let t = Instant::now();
+    std::fs::write(&path, &bytes).expect("write bench index file");
+    let save_ns = t.elapsed().as_nanos();
+    let file_bytes = bytes.len();
+    eprintln!(
+        "serialize: {:.2} ms ({} bytes, {:.1} KiB); save: {:.2} ms",
+        serialize_ns as f64 / 1e6,
+        file_bytes,
+        file_bytes as f64 / 1024.0,
+        save_ns as f64 / 1e6
+    );
+
+    // Cold load: open + validate (mmap where supported), best of LOAD_REPS.
+    let mut load_ns = Vec::new();
+    let mut store = None;
+    for _ in 0..LOAD_REPS {
+        drop(store.take()); // unmap before remapping
+        let t = Instant::now();
+        store = Some(IndexStore::open(&path).expect("open bench index file"));
+        load_ns.push(t.elapsed().as_nanos());
+    }
+    let store = store.expect("LOAD_REPS > 0");
+    let best_load_ns = *load_ns.iter().min().expect("non-empty");
+    eprintln!(
+        "load: best of {LOAD_REPS} = {:.2} ms ({} backing) — vs {:.2} ms rebuild",
+        best_load_ns as f64 / 1e6,
+        store.backing_kind(),
+        best_build_ns as f64 / 1e6
+    );
+
+    // Query latency straight off the mapped file (the cold-load-then-query
+    // serving path), per-query timed for percentiles.
+    let mut rng = testkit::SplitMix64::new(SEED ^ 0x5eed);
+    let pairs: Vec<(VertexId, VertexId)> = (0..NUM_QUERIES)
+        .map(|_| {
+            (
+                rng.next_below(NUM_VERTICES as u64) as VertexId,
+                rng.next_below(NUM_VERTICES as u64) as VertexId,
+            )
+        })
+        .collect();
+
+    let (gv, iv) = (store.graph(), store.index());
+    let mut ctx = QueryContext::new();
+    let mut checksum = 0u64;
+    // Warm-up pass (first queries grow the context buffers + fault pages).
+    for &(u, v) in pairs.iter().take(100) {
+        if let Some(d) = iv.query_with(gv, &mut ctx, u, v) {
+            checksum = checksum.wrapping_add(d as u64);
+        }
+    }
+
+    let mut per_query_ns: Vec<u128> = Vec::with_capacity(pairs.len());
+    let t_all = Instant::now();
+    for &(u, v) in &pairs {
+        let t = Instant::now();
+        let d = iv.query_with(gv, &mut ctx, u, v);
+        per_query_ns.push(t.elapsed().as_nanos());
+        if let Some(d) = d {
+            checksum = checksum.wrapping_add(d as u64);
+        }
+    }
+    let total_query_ns = t_all.elapsed().as_nanos();
+    per_query_ns.sort_unstable();
+    let (p50, p99) = (
+        percentile(&per_query_ns, 0.50),
+        percentile(&per_query_ns, 0.99),
+    );
+    let mean = total_query_ns as f64 / pairs.len() as f64;
+    eprintln!(
+        "query (mmap): {} queries, mean {:.0} ns, p50 {} ns, p99 {} ns (checksum {})",
+        pairs.len(),
+        mean,
+        p50,
+        p99,
+        checksum
+    );
+
+    // Reference: the same queries against the in-memory index.
+    let mut inmem_checksum = 0u64;
+    let t_inmem = Instant::now();
+    for &(u, v) in &pairs {
+        if let Some(d) = index.query_with(&g, &mut ctx, u, v) {
+            inmem_checksum = inmem_checksum.wrapping_add(d as u64);
+        }
+    }
+    let inmem_mean = t_inmem.elapsed().as_nanos() as f64 / pairs.len() as f64;
+    eprintln!("query (owned): mean {inmem_mean:.0} ns (checksum {inmem_checksum})");
+
+    // Sanity: mapped answers equal owned answers equal the oracle sample.
+    let (u0, v0) = pairs[0];
+    assert_eq!(
+        iv.query_with(gv, &mut ctx, u0, v0),
+        bfs::distance(&g, u0, v0)
+    );
+    let owned_sample: u64 = pairs
+        .iter()
+        .take(500)
+        .filter_map(|&(u, v)| index.query_with(&g, &mut ctx, u, v))
+        .map(u64::from)
+        .sum();
+    let mapped_sample: u64 = pairs
+        .iter()
+        .take(500)
+        .filter_map(|&(u, v)| iv.query_with(gv, &mut ctx, u, v))
+        .map(u64::from)
+        .sum();
+    assert_eq!(
+        owned_sample, mapped_sample,
+        "mapped index diverged from owned"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr2_store_roundtrip\",\n  \"graph\": {{\"family\": \"barabasi_albert\", \
+         \"vertices\": {}, \"edges\": {}, \"attach_edges\": {ATTACH_EDGES}, \"seed\": {SEED}}},\n  \
+         \"index\": {{\"landmarks\": {}, \"label_entries\": {}, \"avg_label_size\": {:.3}, \
+         \"bytes\": {}}},\n  \"build\": {{\"reps\": {BUILD_REPS}, \"best_ns\": {best_build_ns}}},\n  \
+         \"store\": {{\"file_bytes\": {file_bytes}, \"serialize_ns\": {serialize_ns}, \
+         \"save_ns\": {save_ns}, \"load_reps\": {LOAD_REPS}, \"load_best_ns\": {best_load_ns}, \
+         \"backing\": \"{}\"}},\n  \
+         \"query_mmap\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {p50}, \
+         \"p99_ns\": {p99}, \"checksum\": {checksum}}},\n  \
+         \"query_owned\": {{\"mean_ns\": {:.1}}}\n}}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        stats.num_landmarks,
+        stats.total_label_entries,
+        stats.avg_label_size,
+        stats.bytes,
+        store.backing_kind(),
+        pairs.len(),
+        mean,
+        inmem_mean,
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(out_path, &json).expect("writing BENCH_pr2.json");
+    eprintln!("wrote {out_path}");
+
+    drop(store);
+    std::fs::remove_file(&path).ok();
+    let _ = std::hint::black_box(checksum);
+}

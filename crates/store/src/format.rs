@@ -1,0 +1,476 @@
+//! The `.hcl` container format: header, section table, and the
+//! serialise/validate pair.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     8  magic "HCLSTOR1"
+//!      8     4  format version (u32 LE)
+//!     12     4  section count (u32 LE) — always 8 in version 1
+//!     16     8  total file length in bytes (u64 LE)
+//!     24     8  CRC-64/ECMA of the whole file with this field zeroed
+//!     32     8  num_vertices (u64 LE)
+//!     40     8  num_edges (u64 LE)
+//!     48     8  num_landmarks (u64 LE)
+//!     56     8  total label entries (u64 LE)
+//!     64   8·24 section table: {kind u32, elem_size u32, offset u64,
+//!                len_bytes u64} per section
+//!    256     …  sections, each 8-byte aligned, zero-padded between
+//! ```
+//!
+//! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
+//! all section offsets 8-byte aligned — which is exactly what lets a
+//! little-endian host reinterpret the mapped file as the index's slices
+//! with no decode step. Validation happens once at open: header, checksum,
+//! section-table geometry, then the semantic CSR/label invariants via
+//! `hcl-core`/`hcl-index`. After that, serving is pointer arithmetic.
+
+use crate::checksum::{crc64_finish, crc64_init, crc64_update};
+use crate::error::StoreError;
+use hcl_core::Graph;
+use hcl_index::HighwayCoverIndex;
+use std::ops::Range;
+
+/// File magic: "HCLSTOR1".
+pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
+/// Format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Byte offset of the checksum field inside the header.
+pub const CHECKSUM_OFFSET: usize = 24;
+
+const SECTION_ENTRY_LEN: usize = 24;
+const NUM_SECTIONS: usize = 8;
+const TABLE_END: usize = HEADER_LEN + NUM_SECTIONS * SECTION_ENTRY_LEN;
+
+/// Section kinds, in canonical table order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+enum SectionKind {
+    GraphOffsets = 1,
+    GraphNeighbors = 2,
+    Landmarks = 3,
+    LandmarkRank = 4,
+    LabelOffsets = 5,
+    LabelHubs = 6,
+    LabelDists = 7,
+    Highway = 8,
+}
+
+impl SectionKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(Self::GraphOffsets),
+            2 => Some(Self::GraphNeighbors),
+            3 => Some(Self::Landmarks),
+            4 => Some(Self::LandmarkRank),
+            5 => Some(Self::LabelOffsets),
+            6 => Some(Self::LabelHubs),
+            7 => Some(Self::LabelDists),
+            8 => Some(Self::Highway),
+            _ => None,
+        }
+    }
+
+    fn elem_size(self) -> u32 {
+        match self {
+            Self::GraphOffsets | Self::LabelOffsets => 8,
+            _ => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::GraphOffsets => "graph_offsets",
+            Self::GraphNeighbors => "graph_neighbors",
+            Self::Landmarks => "landmarks",
+            Self::LandmarkRank => "landmark_rank",
+            Self::LabelOffsets => "label_offsets",
+            Self::LabelHubs => "label_hubs",
+            Self::LabelDists => "label_dists",
+            Self::Highway => "highway",
+        }
+    }
+}
+
+/// Build and graph metadata recorded in the header, available without
+/// touching any section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Format version of the file.
+    pub version: u32,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// CRC-64/ECMA checksum recorded in the header.
+    pub checksum: u64,
+    /// Vertex count of the stored graph.
+    pub num_vertices: u64,
+    /// Undirected edge count of the stored graph.
+    pub num_edges: u64,
+    /// Landmark count of the stored index.
+    pub num_landmarks: u64,
+    /// Total `(hub, dist)` label entries of the stored index.
+    pub label_entries: u64,
+}
+
+/// Location and shape of one section, for inspection tooling.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionInfo {
+    /// Section name (stable, lowercase).
+    pub name: &'static str,
+    /// Bytes per element (4 or 8).
+    pub elem_size: u32,
+    /// Byte offset of the section within the file.
+    pub offset: u64,
+    /// Section length in bytes.
+    pub len_bytes: u64,
+}
+
+/// Validated byte ranges of every section plus the decoded metadata.
+pub(crate) struct Layout {
+    pub(crate) meta: StoreMeta,
+    pub(crate) graph_offsets: Range<usize>,
+    pub(crate) graph_neighbors: Range<usize>,
+    pub(crate) landmarks: Range<usize>,
+    pub(crate) landmark_rank: Range<usize>,
+    pub(crate) label_offsets: Range<usize>,
+    pub(crate) label_hubs: Range<usize>,
+    pub(crate) label_dists: Range<usize>,
+    pub(crate) highway: Range<usize>,
+}
+
+impl Layout {
+    pub(crate) fn sections(&self) -> [SectionInfo; NUM_SECTIONS] {
+        let info = |kind: SectionKind, r: &Range<usize>| SectionInfo {
+            name: kind.name(),
+            elem_size: kind.elem_size(),
+            offset: r.start as u64,
+            len_bytes: (r.end - r.start) as u64,
+        };
+        [
+            info(SectionKind::GraphOffsets, &self.graph_offsets),
+            info(SectionKind::GraphNeighbors, &self.graph_neighbors),
+            info(SectionKind::Landmarks, &self.landmarks),
+            info(SectionKind::LandmarkRank, &self.landmark_rank),
+            info(SectionKind::LabelOffsets, &self.label_offsets),
+            info(SectionKind::LabelHubs, &self.label_hubs),
+            info(SectionKind::LabelDists, &self.label_dists),
+            info(SectionKind::Highway, &self.highway),
+        ]
+    }
+}
+
+enum Payload<'a> {
+    U32(&'a [u32]),
+    U64(&'a [u64]),
+}
+
+impl Payload<'_> {
+    fn byte_len(&self) -> usize {
+        match self {
+            Payload::U32(s) => s.len() * 4,
+            Payload::U64(s) => s.len() * 8,
+        }
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::U32(s) => {
+                for &v in *s {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Payload::U64(s) => {
+                for &v in *s {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// CRC-64 of the file with the header checksum field treated as zero.
+pub(crate) fn file_checksum(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() >= HEADER_LEN);
+    let mut head = [0u8; HEADER_LEN];
+    head.copy_from_slice(&bytes[..HEADER_LEN]);
+    head[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
+    let mut state = crc64_init();
+    state = crc64_update(state, &head);
+    state = crc64_update(state, &bytes[HEADER_LEN..]);
+    crc64_finish(state)
+}
+
+/// Serialises a graph and its index into an in-memory `.hcl` container.
+///
+/// Fails with [`StoreError::GraphIndexMismatch`] if the index was built for
+/// a different vertex count. Output is deterministic: the same graph and
+/// index always produce byte-identical files.
+pub fn serialize(graph: &Graph, index: &HighwayCoverIndex) -> Result<Vec<u8>, StoreError> {
+    let gv = graph.as_view();
+    let iv = index.as_view();
+    if gv.num_vertices() != iv.num_vertices() {
+        return Err(StoreError::GraphIndexMismatch {
+            graph_vertices: gv.num_vertices(),
+            index_vertices: iv.num_vertices(),
+        });
+    }
+
+    let parts: [(SectionKind, Payload<'_>); NUM_SECTIONS] = [
+        (SectionKind::GraphOffsets, Payload::U64(gv.csr_offsets())),
+        (
+            SectionKind::GraphNeighbors,
+            Payload::U32(gv.csr_neighbors()),
+        ),
+        (SectionKind::Landmarks, Payload::U32(iv.landmarks())),
+        (SectionKind::LandmarkRank, Payload::U32(iv.landmark_rank())),
+        (SectionKind::LabelOffsets, Payload::U64(iv.label_offsets())),
+        (SectionKind::LabelHubs, Payload::U32(iv.label_hubs())),
+        (SectionKind::LabelDists, Payload::U32(iv.label_dists())),
+        (SectionKind::Highway, Payload::U32(iv.highway())),
+    ];
+
+    let mut out = vec![0u8; TABLE_END];
+    let mut entries: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(NUM_SECTIONS);
+    for (kind, payload) in &parts {
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let offset = out.len() as u64;
+        payload.write_le(&mut out);
+        entries.push((*kind, offset, payload.byte_len() as u64));
+    }
+
+    // Section table.
+    for (i, (kind, offset, len)) in entries.iter().enumerate() {
+        let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        out[at..at + 4].copy_from_slice(&(*kind as u32).to_le_bytes());
+        out[at + 4..at + 8].copy_from_slice(&kind.elem_size().to_le_bytes());
+        out[at + 8..at + 16].copy_from_slice(&offset.to_le_bytes());
+        out[at + 16..at + 24].copy_from_slice(&len.to_le_bytes());
+    }
+
+    // Header (checksum patched last).
+    out[0..8].copy_from_slice(&MAGIC);
+    out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[12..16].copy_from_slice(&(NUM_SECTIONS as u32).to_le_bytes());
+    let total_len = out.len() as u64;
+    out[16..24].copy_from_slice(&total_len.to_le_bytes());
+    out[32..40].copy_from_slice(&(gv.num_vertices() as u64).to_le_bytes());
+    out[40..48].copy_from_slice(&(gv.num_edges() as u64).to_le_bytes());
+    out[48..56].copy_from_slice(&(iv.num_landmarks() as u64).to_le_bytes());
+    out[56..64].copy_from_slice(&(iv.label_hubs().len() as u64).to_le_bytes());
+    let crc = file_checksum(&out);
+    out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Recomputes and patches the header checksum of a serialised container.
+///
+/// Intended for tooling and corruption tests that deliberately edit a file
+/// and need it internally consistent again; normal writers never need this.
+///
+/// # Panics
+/// Panics if `bytes` is shorter than the fixed header.
+pub fn rewrite_checksum(bytes: &mut [u8]) {
+    let crc = file_checksum(bytes);
+    bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn u32_le(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn u64_le(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn corrupt(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { what: what.into() }
+}
+
+/// Parses and validates the header and section table, returning the layout.
+///
+/// Checks, in order: minimum length, magic, version, declared vs actual
+/// file length (truncation / trailing bytes), checksum, then section-table
+/// geometry (known kinds, element sizes, 8-byte alignment, in-bounds,
+/// non-overlapping) and element counts against the header metadata.
+/// Semantic validation of the array *contents* happens afterwards in
+/// `IndexStore` via `GraphView::from_csr` / `IndexView::from_parts`.
+pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
+    // Magic first (when at least 8 bytes exist): "this is not an index
+    // file" is a more useful diagnosis than "truncated" for foreign files.
+    if bytes.len() >= 8 {
+        let magic: [u8; 8] = bytes[0..8].try_into().expect("bounds checked");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let version = u32_le(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let file_len = u64_le(bytes, 16);
+    if (bytes.len() as u64) < file_len {
+        return Err(StoreError::Truncated {
+            expected: file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u64) > file_len {
+        return Err(corrupt(format!(
+            "{} trailing bytes after declared end of file",
+            bytes.len() as u64 - file_len
+        )));
+    }
+    let stored = u64_le(bytes, CHECKSUM_OFFSET);
+    let computed = file_checksum(bytes);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+
+    let section_count = u32_le(bytes, 12);
+    if section_count as usize != NUM_SECTIONS {
+        return Err(corrupt(format!(
+            "expected {NUM_SECTIONS} sections, header declares {section_count}"
+        )));
+    }
+    if bytes.len() < TABLE_END {
+        return Err(corrupt("section table extends past end of file"));
+    }
+
+    let meta = StoreMeta {
+        version,
+        file_len,
+        checksum: stored,
+        num_vertices: u64_le(bytes, 32),
+        num_edges: u64_le(bytes, 40),
+        num_landmarks: u64_le(bytes, 48),
+        label_entries: u64_le(bytes, 56),
+    };
+
+    let mut ranges: [Option<Range<usize>>; NUM_SECTIONS] = Default::default();
+    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(NUM_SECTIONS);
+    for i in 0..NUM_SECTIONS {
+        let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        let kind_raw = u32_le(bytes, at);
+        let kind = SectionKind::from_u32(kind_raw)
+            .ok_or_else(|| corrupt(format!("unknown section kind {kind_raw}")))?;
+        let elem_size = u32_le(bytes, at + 4);
+        let offset = u64_le(bytes, at + 8);
+        let len = u64_le(bytes, at + 16);
+        let name = kind.name();
+        if elem_size != kind.elem_size() {
+            return Err(corrupt(format!(
+                "section {name} declares element size {elem_size}, expected {}",
+                kind.elem_size()
+            )));
+        }
+        if offset % 8 != 0 {
+            return Err(corrupt(format!(
+                "section {name} offset {offset} not 8-byte aligned"
+            )));
+        }
+        if offset < TABLE_END as u64 {
+            return Err(corrupt(format!("section {name} overlaps header/table")));
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt(format!("section {name} length overflows")))?;
+        if end > file_len {
+            return Err(corrupt(format!("section {name} extends past end of file")));
+        }
+        if len % elem_size as u64 != 0 {
+            return Err(corrupt(format!(
+                "section {name} length {len} not a multiple of element size {elem_size}"
+            )));
+        }
+        let slot = &mut ranges[kind as u32 as usize - 1];
+        if slot.is_some() {
+            return Err(corrupt(format!("duplicate section {name}")));
+        }
+        *slot = Some(offset as usize..end as usize);
+        spans.push((offset, end));
+    }
+    spans.sort_unstable();
+    for pair in spans.windows(2) {
+        if pair[1].0 < pair[0].1 {
+            return Err(corrupt("overlapping sections"));
+        }
+    }
+
+    let take = |kind: SectionKind| -> Range<usize> {
+        ranges[kind as u32 as usize - 1]
+            .clone()
+            .expect("all eight kinds present: checked for duplicates across eight entries")
+    };
+    let layout = Layout {
+        meta,
+        graph_offsets: take(SectionKind::GraphOffsets),
+        graph_neighbors: take(SectionKind::GraphNeighbors),
+        landmarks: take(SectionKind::Landmarks),
+        landmark_rank: take(SectionKind::LandmarkRank),
+        label_offsets: take(SectionKind::LabelOffsets),
+        label_hubs: take(SectionKind::LabelHubs),
+        label_dists: take(SectionKind::LabelDists),
+        highway: take(SectionKind::Highway),
+    };
+
+    // Element counts must agree with the header metadata.
+    let elems = |r: &Range<usize>, elem: usize| ((r.end - r.start) / elem) as u64;
+    let expect = |name: &str, actual: u64, expected: u64| -> Result<(), StoreError> {
+        if actual != expected {
+            Err(corrupt(format!(
+                "section {name} holds {actual} elements, header metadata implies {expected}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let nv = meta.num_vertices;
+    let k = meta.num_landmarks;
+    expect(
+        "graph_offsets",
+        elems(&layout.graph_offsets, 8),
+        nv.checked_add(1)
+            .ok_or_else(|| corrupt("vertex count overflows"))?,
+    )?;
+    expect(
+        "graph_neighbors",
+        elems(&layout.graph_neighbors, 4),
+        meta.num_edges
+            .checked_mul(2)
+            .ok_or_else(|| corrupt("edge count overflows"))?,
+    )?;
+    expect("landmarks", elems(&layout.landmarks, 4), k)?;
+    expect("landmark_rank", elems(&layout.landmark_rank, 4), nv)?;
+    expect("label_offsets", elems(&layout.label_offsets, 8), nv + 1)?;
+    expect(
+        "label_hubs",
+        elems(&layout.label_hubs, 4),
+        meta.label_entries,
+    )?;
+    expect(
+        "label_dists",
+        elems(&layout.label_dists, 4),
+        meta.label_entries,
+    )?;
+    expect(
+        "highway",
+        elems(&layout.highway, 4),
+        k.checked_mul(k)
+            .ok_or_else(|| corrupt("landmark count overflows"))?,
+    )?;
+
+    Ok(layout)
+}

@@ -1,0 +1,234 @@
+//! On-disk persistence for highway-cover indexes: a versioned, checksummed
+//! binary container (`.hcl`) served back **zero-copy** through a memory
+//! map.
+//!
+//! The motivating workflow is build-once / serve-many: one process runs the
+//! expensive labelling and [`save`]s the result; any number of serving
+//! processes [`IndexStore::open`] the file and answer queries immediately —
+//! no edge-list parse, no rebuild, no deserialisation. On the supported
+//! fast path (64-bit little-endian Unix) the file is `mmap`'d and the
+//! little-endian fixed-width sections are reinterpreted in place as the
+//! `GraphView` / `IndexView` slices the query engine runs on, so "load
+//! time" is one page-table walk plus one validation pass, and resident
+//! memory is shared between processes by the page cache.
+//!
+//! ```no_run
+//! # use hcl_core::{Graph, testkit};
+//! # use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+//! let graph = testkit::barabasi_albert(10_000, 5, 42);
+//! let index = HighwayCoverIndex::build(&graph, IndexConfig::default());
+//! hcl_store::save("web.hcl", &graph, &index)?;
+//!
+//! // …later, in a serving process:
+//! let store = hcl_store::IndexStore::open("web.hcl")?;
+//! let mut ctx = QueryContext::new();
+//! let d = store.index().query_with(store.graph(), &mut ctx, 17, 4711);
+//! # Ok::<(), hcl_store::StoreError>(())
+//! ```
+//!
+//! Integrity: the container carries magic, version, declared length, and a
+//! CRC-64 over the whole file, and every structural invariant of the CSR
+//! arrays is validated once at open. Corrupt, truncated, or tampered input
+//! yields a typed [`StoreError`] — never a panic, never UB. See
+//! [`format`](self) docs in `format.rs` for the byte layout.
+//!
+//! Platforms without the mmap fast path (or callers preferring a private
+//! copy) get the same API via [`IndexStore::open_preloaded`] /
+//! [`IndexStore::from_bytes`], which read into an aligned heap buffer.
+#![deny(missing_docs)]
+
+mod backing;
+mod checksum;
+mod error;
+mod format;
+
+pub use checksum::crc64;
+pub use error::StoreError;
+pub use format::{
+    rewrite_checksum, serialize, SectionInfo, StoreMeta, FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
+
+use backing::{cast_u32s, cast_u64s, AlignedBuf, Backing};
+use format::Layout;
+use hcl_core::{Graph, GraphView, VertexId};
+use hcl_index::{HighwayCoverIndex, IndexView};
+use std::fs::File;
+use std::path::Path;
+
+/// Serialises `graph` and `index` and writes them to `path` atomically:
+/// the bytes go to a temporary sibling file which is then renamed over the
+/// target, so a concurrent reader either sees the old complete container or
+/// the new one — never a truncated half-write, and a process already
+/// serving the old file via mmap keeps its mapping (the old inode stays
+/// alive until unmapped) instead of faulting on truncated pages.
+/// Returns the number of bytes written.
+pub fn save(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+) -> Result<u64, StoreError> {
+    let path = path.as_ref();
+    let bytes = serialize(graph, index)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// An opened, validated `.hcl` container serving borrowed graph and index
+/// views.
+///
+/// All validation (header, checksum, section geometry, CSR and labelling
+/// invariants) happens in the constructors; afterwards [`graph`]
+/// (IndexStore::graph) and [`index`](IndexStore::index) are pointer
+/// arithmetic over the backing bytes. The store must outlive the views it
+/// hands out, which the borrow checker enforces.
+pub struct IndexStore {
+    backing: Backing,
+    layout: Layout,
+}
+
+impl std::fmt::Debug for IndexStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexStore")
+            .field("backing", &self.backing_kind())
+            .field("meta", &self.layout.meta)
+            .finish()
+    }
+}
+
+impl IndexStore {
+    /// Opens a container, preferring the zero-copy memory-mapped backing
+    /// and falling back to a heap copy where mmap is unavailable.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        {
+            if len > 0 {
+                if let Ok(map) = backing::mmap::Mmap::map(&file, len as usize) {
+                    return Self::from_backing(Backing::Mmap(map));
+                }
+            }
+        }
+        Self::open_via_read(file, len)
+    }
+
+    /// Opens a container by reading it fully into an aligned heap buffer —
+    /// the portable path, also useful when the file lives on storage where
+    /// mapped page faults are slower than one sequential read.
+    pub fn open_preloaded(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Self::open_via_read(file, len)
+    }
+
+    fn open_via_read(mut file: File, len: u64) -> Result<Self, StoreError> {
+        let buf = AlignedBuf::read_from(&mut file, len as usize)?;
+        Self::from_backing(Backing::Heap(buf))
+    }
+
+    /// Validates an in-memory container image (copied into an aligned heap
+    /// buffer). Handy for tests and for receiving index images over the
+    /// network.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::from_backing(Backing::Heap(AlignedBuf::copy_from(bytes)))
+    }
+
+    fn from_backing(backing: Backing) -> Result<Self, StoreError> {
+        #[cfg(target_endian = "big")]
+        {
+            return Err(StoreError::UnsupportedPlatform {
+                why: "zero-copy .hcl serving requires a little-endian host",
+            });
+        }
+        #[cfg(not(target_endian = "big"))]
+        {
+            let layout = format::parse_and_validate(backing.bytes())?;
+            let store = Self { backing, layout };
+            // Semantic validation, once: afterwards the accessors can use
+            // the unchecked view constructors.
+            let bytes = store.backing.bytes();
+            let graph = GraphView::from_csr(
+                cast_u64s(&bytes[store.layout.graph_offsets.clone()]),
+                cast_u32s(&bytes[store.layout.graph_neighbors.clone()]),
+            )?;
+            let index = IndexView::from_parts(
+                cast_u32s(&bytes[store.layout.landmarks.clone()]),
+                cast_u32s(&bytes[store.layout.landmark_rank.clone()]),
+                cast_u64s(&bytes[store.layout.label_offsets.clone()]),
+                cast_u32s(&bytes[store.layout.label_hubs.clone()]),
+                cast_u32s(&bytes[store.layout.label_dists.clone()]),
+                cast_u32s(&bytes[store.layout.highway.clone()]),
+            )?;
+            if graph.num_vertices() != index.num_vertices() {
+                return Err(StoreError::GraphIndexMismatch {
+                    graph_vertices: graph.num_vertices(),
+                    index_vertices: index.num_vertices(),
+                });
+            }
+            Ok(store)
+        }
+    }
+
+    /// The stored graph, borrowed zero-copy from the backing.
+    pub fn graph(&self) -> GraphView<'_> {
+        let bytes = self.backing.bytes();
+        GraphView::from_csr_unchecked(
+            cast_u64s(&bytes[self.layout.graph_offsets.clone()]),
+            cast_u32s(&bytes[self.layout.graph_neighbors.clone()]),
+        )
+    }
+
+    /// The stored index, borrowed zero-copy from the backing.
+    pub fn index(&self) -> IndexView<'_> {
+        let bytes = self.backing.bytes();
+        IndexView::from_parts_unchecked(
+            cast_u32s(&bytes[self.layout.landmarks.clone()]),
+            cast_u32s(&bytes[self.layout.landmark_rank.clone()]),
+            cast_u64s(&bytes[self.layout.label_offsets.clone()]),
+            cast_u32s(&bytes[self.layout.label_hubs.clone()]),
+            cast_u32s(&bytes[self.layout.label_dists.clone()]),
+            cast_u32s(&bytes[self.layout.highway.clone()]),
+        )
+    }
+
+    /// Header metadata (counts, version, checksum) — available without
+    /// touching section bytes.
+    pub fn meta(&self) -> StoreMeta {
+        self.layout.meta
+    }
+
+    /// Per-section name/offset/size information for inspection tooling.
+    pub fn sections(&self) -> Vec<SectionInfo> {
+        self.layout.sections().to_vec()
+    }
+
+    /// Which backing serves this store: `"mmap"` or `"heap"`.
+    pub fn backing_kind(&self) -> &'static str {
+        self.backing.kind()
+    }
+
+    /// Total size of the container in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.layout.meta.file_len
+    }
+
+    /// Copies the stored graph and index into owned structures (a full
+    /// deserialisation, for callers that want to drop the file).
+    pub fn to_owned_parts(&self) -> (Graph, HighwayCoverIndex) {
+        (self.graph().to_owned_graph(), self.index().to_owned_index())
+    }
+}
+
+// Keep VertexId in the public-API surface story: sections store plain u32
+// vertex ids, and this assert documents (at compile time) the assumption
+// the 4-byte element size relies on.
+const _: () = assert!(std::mem::size_of::<VertexId>() == 4);

@@ -1,0 +1,217 @@
+//! Corruption handling: every malformed container must produce a typed
+//! [`StoreError`] — never a panic, never undefined behaviour.
+
+use hcl_core::{testkit, CsrError};
+use hcl_index::{HighwayCoverIndex, IndexConfig};
+use hcl_store::{IndexStore, StoreError};
+
+fn sample_bytes() -> Vec<u8> {
+    let g = testkit::barabasi_albert(80, 3, 4);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 6 });
+    hcl_store::serialize(&g, &idx).expect("serialize")
+}
+
+#[test]
+fn pristine_sample_loads() {
+    assert!(IndexStore::from_bytes(&sample_bytes()).is_ok());
+}
+
+#[test]
+fn truncation_at_any_length_is_a_typed_error() {
+    let bytes = sample_bytes();
+    // Every strict prefix must fail cleanly. Step through densely at the
+    // start (header/table) and more coarsely through the payload.
+    let mut cut = 0usize;
+    while cut < bytes.len() {
+        let err = IndexStore::from_bytes(&bytes[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {cut} bytes unexpectedly loaded"));
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "prefix of {cut} bytes: expected Truncated, got {err:?}"
+        );
+        cut += if cut < 300 { 7 } else { 997 };
+    }
+}
+
+#[test]
+fn bad_magic_is_detected() {
+    let mut bytes = sample_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+    // A file that is not a container at all.
+    assert!(matches!(
+        IndexStore::from_bytes(b"#!/bin/sh\necho not an index file, sorry\n" as &[u8]).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+}
+
+#[test]
+fn wrong_version_is_detected() {
+    let mut bytes = sample_bytes();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::UnsupportedVersion { found: 99, .. }
+    ));
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_payload_fail_the_checksum() {
+    let clean = sample_bytes();
+    for at in [64usize, 100, 256, clean.len() / 2, clean.len() - 1] {
+        let mut bytes = clean.clone();
+        bytes[at] ^= 0x04;
+        assert!(
+            matches!(
+                IndexStore::from_bytes(&bytes).unwrap_err(),
+                StoreError::ChecksumMismatch { .. }
+            ),
+            "flip at byte {at} was not caught"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_detected() {
+    let mut bytes = sample_bytes();
+    bytes.extend_from_slice(b"padding");
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+}
+
+#[test]
+fn checksum_fixed_but_sections_broken_is_corrupt() {
+    // Tampering that *also* repairs the checksum must still be rejected by
+    // the structural validators.
+    let clean = sample_bytes();
+
+    // Misalign a section offset.
+    let mut bytes = clean.clone();
+    let entry = 64 + 8; // first section's offset field
+    let off = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap());
+    bytes[entry..entry + 8].copy_from_slice(&(off + 4).to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+
+    // Point a section past the end of the file.
+    let mut bytes = clean.clone();
+    bytes[entry..entry + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+
+    // Duplicate section kind.
+    let mut bytes = clean.clone();
+    bytes[64..68].copy_from_slice(&2u32.to_le_bytes()); // kind 1 -> 2
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+
+    // Nonsense section count.
+    let mut bytes = clean.clone();
+    bytes[12..16].copy_from_slice(&3u32.to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+
+    // Lie about the vertex count in the metadata.
+    let mut bytes = clean.clone();
+    bytes[32..40].copy_from_slice(&123456u64.to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+}
+
+#[test]
+fn semantically_invalid_graph_arrays_are_rejected() {
+    // Build a container whose bytes are internally consistent (checksum
+    // repaired) but whose neighbour array violates CSR invariants.
+    let g = testkit::path(6);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 2 });
+    let clean = hcl_store::serialize(&g, &idx).expect("serialize");
+    let store = IndexStore::from_bytes(&clean).expect("clean loads");
+    let neighbors = store
+        .sections()
+        .into_iter()
+        .find(|s| s.name == "graph_neighbors")
+        .expect("section present");
+    drop(store);
+
+    // Out-of-range neighbour id.
+    let mut bytes = clean.clone();
+    let at = neighbors.offset as usize;
+    bytes[at..at + 4].copy_from_slice(&777u32.to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::InvalidGraph(CsrError::NeighborOutOfRange { .. })
+    ));
+
+    // Break symmetry: rewrite vertex 0's single neighbour (1 -> 5).
+    let mut bytes = clean.clone();
+    bytes[at..at + 4].copy_from_slice(&5u32.to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::InvalidGraph(_)
+    ));
+}
+
+#[test]
+fn semantically_invalid_index_arrays_are_rejected() {
+    let g = testkit::star(8);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 3 });
+    let clean = hcl_store::serialize(&g, &idx).expect("serialize");
+    let store = IndexStore::from_bytes(&clean).expect("clean loads");
+    let hubs = store
+        .sections()
+        .into_iter()
+        .find(|s| s.name == "label_hubs")
+        .expect("section present");
+    drop(store);
+
+    let mut bytes = clean.clone();
+    let at = hubs.offset as usize;
+    bytes[at..at + 4].copy_from_slice(&250u32.to_le_bytes()); // hub rank >= k
+    hcl_store::rewrite_checksum(&mut bytes);
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::InvalidIndex(_)
+    ));
+}
+
+#[test]
+fn open_errors_are_typed_io() {
+    let err = IndexStore::open("/definitely/not/a/real/path.hcl").unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)));
+}
+
+#[test]
+fn corrupted_file_on_disk_fails_via_open_too() {
+    let mut bytes = sample_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x80;
+    let mut path = std::env::temp_dir();
+    path.push(format!("hcl_store_corrupt_{}.hcl", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+    let err = IndexStore::open(&path).unwrap_err();
+    assert!(matches!(err, StoreError::ChecksumMismatch { .. }));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,168 @@
+//! Round-trip property tests: `save → load → query` must equal the
+//! in-memory index on every testkit graph family, for both the mmap and
+//! heap backings.
+
+use hcl_core::{testkit, Graph, GraphBuilder};
+use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use hcl_store::IndexStore;
+use std::path::PathBuf;
+
+fn families() -> Vec<(String, Graph)> {
+    let mut isolated = GraphBuilder::new();
+    isolated.add_edge(0, 1).add_edge(1, 2).reserve_vertices(7);
+    vec![
+        ("empty".into(), GraphBuilder::new().build()),
+        ("single".into(), testkit::path(1)),
+        ("path(13)".into(), testkit::path(13)),
+        ("cycle(9)".into(), testkit::cycle(9)),
+        ("star(17)".into(), testkit::star(17)),
+        ("grid(4x5)".into(), testkit::grid(4, 5)),
+        ("er(40,0.08)".into(), testkit::erdos_renyi(40, 0.08, 3)),
+        // Sparse ER: fragmented, exercises unreachable pairs.
+        ("er(40,0.02)".into(), testkit::erdos_renyi(40, 0.02, 1)),
+        ("ba(60,3)".into(), testkit::barabasi_albert(60, 3, 7)),
+        (
+            "grid⊎cycle".into(),
+            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
+        ),
+        ("path+isolated".into(), isolated.build()),
+    ]
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hcl_store_test_{}_{tag}.hcl", std::process::id()));
+    p
+}
+
+/// All-pairs equality between the in-memory index and a loaded store.
+fn assert_store_matches_owned(name: &str, g: &Graph, idx: &HighwayCoverIndex, store: &IndexStore) {
+    let n = g.num_vertices() as u32;
+    let (gv, iv) = (store.graph(), store.index());
+    assert_eq!(gv.num_vertices(), g.num_vertices(), "{name}: vertex count");
+    assert_eq!(gv.num_edges(), g.num_edges(), "{name}: edge count");
+    assert_eq!(iv.num_landmarks(), idx.num_landmarks(), "{name}: landmarks");
+    let mut ctx = QueryContext::new();
+    let mut ctx_store = QueryContext::new();
+    for u in 0..n {
+        for v in 0..n {
+            let owned = idx.query_with(g, &mut ctx, u, v);
+            let stored = iv.query_with(gv, &mut ctx_store, u, v);
+            assert_eq!(
+                stored, owned,
+                "{name}: query({u}, {v}) differs between owned index and loaded store"
+            );
+        }
+    }
+}
+
+#[test]
+fn save_load_query_equals_in_memory_on_all_families() {
+    for (name, g) in families() {
+        for k in [0usize, 1, 4, 16] {
+            let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+
+            // Heap backing via in-memory bytes.
+            let bytes = hcl_store::serialize(&g, &idx).expect("serialize");
+            let store = IndexStore::from_bytes(&bytes).expect("load from bytes");
+            assert_eq!(store.backing_kind(), "heap");
+            assert_store_matches_owned(&format!("{name} k={k} heap"), &g, &idx, &store);
+
+            // File + default open (mmap where supported).
+            let path = temp_path(&format!(
+                "rt_{}_{k}",
+                name.replace(['(', ')', ',', '.', '⊎', '+'], "_")
+            ));
+            hcl_store::save(&path, &g, &idx).expect("save");
+            let store = IndexStore::open(&path).expect("open saved file");
+            assert_store_matches_owned(&format!("{name} k={k} file"), &g, &idx, &store);
+            drop(store);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn mmap_backing_is_used_on_supported_platforms() {
+    let g = testkit::barabasi_albert(200, 3, 2);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+    let path = temp_path("backing");
+    hcl_store::save(&path, &g, &idx).expect("save");
+    let store = IndexStore::open(&path).expect("open");
+    if cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        assert_eq!(store.backing_kind(), "mmap");
+    }
+    // The explicit preload path must agree with the mapped one.
+    let pre = IndexStore::open_preloaded(&path).expect("open_preloaded");
+    assert_eq!(pre.backing_kind(), "heap");
+    let mut ctx = QueryContext::new();
+    for (u, v) in [(0, 1), (7, 133), (42, 42), (199, 3)] {
+        assert_eq!(
+            store.index().query_with(store.graph(), &mut ctx, u, v),
+            pre.index().query_with(pre.graph(), &mut ctx, u, v),
+        );
+    }
+    drop((store, pre));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serialization_is_deterministic_and_meta_is_accurate() {
+    let g = testkit::barabasi_albert(150, 4, 9);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 8 });
+    let a = hcl_store::serialize(&g, &idx).unwrap();
+    let b = hcl_store::serialize(&g, &idx).unwrap();
+    assert_eq!(a, b, "same inputs must produce byte-identical files");
+
+    let store = IndexStore::from_bytes(&a).unwrap();
+    let meta = store.meta();
+    assert_eq!(meta.version, hcl_store::FORMAT_VERSION);
+    assert_eq!(meta.file_len, a.len() as u64);
+    assert_eq!(meta.num_vertices, 150);
+    assert_eq!(meta.num_edges, g.num_edges() as u64);
+    assert_eq!(meta.num_landmarks, 8);
+    assert_eq!(meta.label_entries, idx.stats().total_label_entries as u64);
+    assert_eq!(store.len_bytes(), a.len() as u64);
+
+    // Sections cover the advertised element counts.
+    let sections = store.sections();
+    assert_eq!(sections.len(), 8);
+    let offsets = sections.iter().find(|s| s.name == "graph_offsets").unwrap();
+    assert_eq!(offsets.len_bytes, (150 + 1) * 8);
+    assert!(sections.iter().all(|s| s.offset % 8 == 0));
+}
+
+#[test]
+fn to_owned_parts_fully_deserialises() {
+    let g = testkit::grid(6, 7);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 5 });
+    let bytes = hcl_store::serialize(&g, &idx).unwrap();
+    let store = IndexStore::from_bytes(&bytes).unwrap();
+    let (g2, idx2) = store.to_owned_parts();
+    drop(store);
+    assert_eq!(g2, g);
+    let mut ctx = QueryContext::new();
+    for u in 0..42 {
+        for v in 0..42 {
+            assert_eq!(
+                idx2.query_with(&g2, &mut ctx, u, v),
+                idx.query_with(&g, &mut ctx, u, v)
+            );
+        }
+    }
+}
+
+#[test]
+fn serialize_rejects_mismatched_graph() {
+    let g = testkit::path(10);
+    let other = testkit::path(11);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+    assert!(matches!(
+        hcl_store::serialize(&other, &idx),
+        Err(hcl_store::StoreError::GraphIndexMismatch { .. })
+    ));
+}
