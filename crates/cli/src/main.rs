@@ -25,28 +25,35 @@
 //! oracle, regardless of backing.
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
-use hcl_index::{HighwayCoverIndex, IndexConfig, IndexView, QueryContext};
+use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext};
 use hcl_store::IndexStore;
-use std::io::{BufRead, IsTerminal, Write};
+use std::io::{BufRead, ErrorKind, IsTerminal, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: hcl <command> [args]\n\
      \n\
      commands:\n\
-       build <graph.edges> [--out FILE.hcl] [--landmarks K]\n\
+       build <graph.edges> [--out FILE.hcl] [--landmarks K] [--threads T]\n\
+             [--batch B]\n\
            Build the highway-cover index once and persist it (default\n\
-           output: <graph.edges>.hcl).\n\
-       query (--index FILE.hcl | <graph.edges> [--landmarks K])\n\
+           output: <graph.edges>.hcl). --threads shards the landmark\n\
+           searches over T worker threads (default: HCL_BUILD_THREADS or\n\
+           all available cores); the output is byte-identical at every\n\
+           thread count. --batch sets landmarks per batch (advanced;\n\
+           changes the labelling shape, not its exactness).\n\
+       query (--index FILE.hcl | <graph.edges> [--landmarks K] [--threads T])\n\
              [--queries FILE | --random N] [--seed S] [--verify]\n\
            Answer `u v` distance queries. With --index the saved container\n\
            is memory-mapped and served zero-copy — no rebuild. Queries come\n\
            from --queries, --random, or stdin; answers are `u v d` lines\n\
-           (`inf` when disconnected). --verify re-checks against a BFS\n\
+           (`inf` when disconnected). Out-of-range ids are reported with\n\
+           their source line and skipped. --verify re-checks against a BFS\n\
            oracle.\n\
-       serve (--index FILE.hcl | <graph.edges> [--landmarks K])\n\
+       serve (--index FILE.hcl | <graph.edges> [--landmarks K] [--threads T])\n\
            Interactive serving: read `u v` per line on stdin, answer\n\
-           immediately (line-buffered). Bad lines are reported and skipped.\n\
+           immediately (line-buffered). Bad lines are reported and skipped;\n\
+           a closed stdout (e.g. `| head`) is a clean shutdown.\n\
        inspect <FILE.hcl>\n\
            Print header metadata, build statistics, and the section table.\n\
      \n\
@@ -74,11 +81,24 @@ fn help() -> ! {
 /// `<source>:<line>: <problem>`, quoting the offending token, instead of a
 /// bare parse panic.
 fn parse_pairs(reader: impl BufRead, what: &str) -> Result<Vec<(VertexId, VertexId)>, String> {
+    Ok(parse_pairs_numbered(reader, what)?
+        .into_iter()
+        .map(|(_, u, v)| (u, v))
+        .collect())
+}
+
+/// [`parse_pairs`], keeping each pair's 1-based source line so later
+/// diagnostics (e.g. out-of-range vertex ids, which parsing cannot detect
+/// because it does not know the graph) can still point at the input.
+fn parse_pairs_numbered(
+    reader: impl BufRead,
+    what: &str,
+) -> Result<Vec<(usize, VertexId, VertexId)>, String> {
     let mut pairs = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("reading {what}: {e}"))?;
-        if let Some(pair) = parse_pair_line(&line, what, lineno + 1)? {
-            pairs.push(pair);
+        if let Some((u, v)) = parse_pair_line(&line, what, lineno + 1)? {
+            pairs.push((lineno + 1, u, v));
         }
     }
     Ok(pairs)
@@ -140,6 +160,46 @@ fn parse_or_usage<T: std::str::FromStr>(value: String, flag: &str) -> T {
     })
 }
 
+/// Builder thread count: explicit `--threads` wins, then the
+/// `HCL_BUILD_THREADS` environment variable, then every available core.
+/// The count never changes the built index, only how fast it appears.
+fn resolve_build_threads(explicit: Option<usize>) -> usize {
+    explicit.filter(|&t| t > 0).unwrap_or_else(|| {
+        BuildOptions::threads_from_env(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Result of writing one answer line to stdout.
+enum AnswerSink {
+    /// Written (and flushed, where the caller asked for it).
+    Written,
+    /// The reader closed the pipe (e.g. `hcl serve … | head`). Not an
+    /// error: the caller should stop producing output and shut down
+    /// cleanly, keeping its stderr summary.
+    Closed,
+}
+
+/// Writes one `u v d` answer line, treating a broken pipe as a clean
+/// end-of-output signal instead of a fatal error.
+fn write_answer(
+    out: &mut impl Write,
+    u: VertexId,
+    v: VertexId,
+    d: Option<u32>,
+    flush: bool,
+) -> Result<AnswerSink, String> {
+    let res = match d {
+        Some(d) => writeln!(out, "{u} {v} {d}"),
+        None => writeln!(out, "{u} {v} inf"),
+    }
+    .and_then(|()| if flush { out.flush() } else { Ok(()) });
+    match res {
+        Ok(()) => Ok(AnswerSink::Written),
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => Ok(AnswerSink::Closed),
+        Err(e) => Err(format!("writing output: {e}")),
+    }
+}
+
 /// Where the graph + index come from: built in memory from an edge list, or
 /// served from a persisted container.
 enum Source {
@@ -164,6 +224,7 @@ impl Source {
         index_path: Option<&str>,
         graph_path: Option<&str>,
         num_landmarks: usize,
+        threads: usize,
     ) -> Result<Self, String> {
         match (index_path, graph_path) {
             (Some(path), None) => {
@@ -189,7 +250,14 @@ impl Source {
                 let graph = load_graph(path)?;
                 let load_time = t0.elapsed();
                 let t1 = Instant::now();
-                let index = HighwayCoverIndex::build(&graph, IndexConfig { num_landmarks });
+                let index = HighwayCoverIndex::build_with(
+                    &graph,
+                    &BuildOptions {
+                        num_landmarks,
+                        threads,
+                        batch_size: 0,
+                    },
+                );
                 let build_time = t1.elapsed();
                 let stats = index.stats();
                 eprintln!(
@@ -200,7 +268,7 @@ impl Source {
                 );
                 eprintln!(
                     "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), \
-                     {:.1} KiB, built in {:.1?}",
+                     {:.1} KiB, built in {:.1?} with {threads} thread(s)",
                     stats.num_landmarks,
                     stats.total_label_entries,
                     stats.avg_label_size,
@@ -226,6 +294,8 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
     let mut graph_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut num_landmarks = 16usize;
+    let mut threads: Option<usize> = None;
+    let mut batch_size = 0usize;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -233,6 +303,13 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
             "--landmarks" | "-k" => {
                 num_landmarks = parse_or_usage(next_value(&mut args, "--landmarks"), "--landmarks")
             }
+            "--threads" | "-t" => {
+                threads = Some(parse_or_usage(
+                    next_value(&mut args, "--threads"),
+                    "--threads",
+                ))
+            }
+            "--batch" => batch_size = parse_or_usage(next_value(&mut args, "--batch"), "--batch"),
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -246,16 +323,25 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
         usage()
     });
     let out_path = out_path.unwrap_or_else(|| format!("{graph_path}.hcl"));
+    let options = BuildOptions {
+        num_landmarks,
+        threads: resolve_build_threads(threads),
+        batch_size,
+    };
 
     let t0 = Instant::now();
     let graph = load_graph(&graph_path)?;
     let load_time = t0.elapsed();
     let t1 = Instant::now();
-    let index = HighwayCoverIndex::build(&graph, IndexConfig { num_landmarks });
+    let index = HighwayCoverIndex::build_with(&graph, &options);
     let build_time = t1.elapsed();
     let stats = index.stats();
     let t2 = Instant::now();
-    let bytes = hcl_store::save(&out_path, &graph, &index)
+    let build_info = hcl_store::BuildInfo {
+        threads: options.threads as u32,
+        batch_size: options.resolved_batch_size() as u32,
+    };
+    let bytes = hcl_store::save_with(&out_path, &graph, &index, build_info)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     let save_time = t2.elapsed();
 
@@ -266,12 +352,15 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
         load_time
     );
     eprintln!(
-        "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), built in {:.1?}",
+        "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), built in {:.1?} \
+         with {} thread(s), batch {}",
         stats.num_landmarks,
         stats.total_label_entries,
         stats.avg_label_size,
         stats.max_label_size,
-        build_time
+        build_time,
+        build_info.threads,
+        build_info.batch_size
     );
     eprintln!(
         "wrote {out_path}: {bytes} bytes ({:.1} KiB) in {:.1?}",
@@ -291,6 +380,8 @@ struct QueryOptions {
     /// `Some` only when `--landmarks` was passed explicitly, so serving
     /// from a stored index can reject the flag instead of ignoring it.
     num_landmarks: Option<usize>,
+    /// Same deal for `--threads` (build-time only).
+    threads: Option<usize>,
     queries_path: Option<String>,
     random_queries: Option<usize>,
     seed: u64,
@@ -302,6 +393,7 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         index_path: None,
         graph_path: None,
         num_landmarks: None,
+        threads: None,
         queries_path: None,
         random_queries: None,
         seed: 0xC0FFEE,
@@ -315,6 +407,12 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
                 opts.num_landmarks = Some(parse_or_usage(
                     next_value(&mut args, "--landmarks"),
                     "--landmarks",
+                ))
+            }
+            "--threads" | "-t" => {
+                opts.threads = Some(parse_or_usage(
+                    next_value(&mut args, "--threads"),
+                    "--threads",
                 ))
             }
             "--queries" | "-q" => opts.queries_path = Some(next_value(&mut args, "--queries")),
@@ -338,37 +436,55 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         eprintln!("error: --queries and --random are mutually exclusive");
         usage();
     }
-    if opts.index_path.is_some() && opts.num_landmarks.is_some() {
-        eprintln!("error: --landmarks only applies when building from an edge list");
+    if opts.index_path.is_some() && (opts.num_landmarks.is_some() || opts.threads.is_some()) {
+        eprintln!("error: --landmarks/--threads only apply when building from an edge list");
         usage();
     }
     opts
 }
 
-fn collect_queries(opts: &QueryOptions, n: usize) -> Result<Vec<(VertexId, VertexId)>, String> {
+/// The collected query workload: pairs with their 1-based source line
+/// (0 for generated queries, which cannot be out of range) and the name of
+/// where they came from, for diagnostics.
+struct Workload {
+    source: String,
+    pairs: Vec<(usize, VertexId, VertexId)>,
+}
+
+fn collect_queries(opts: &QueryOptions, n: usize) -> Result<Workload, String> {
     if let Some(count) = opts.random_queries {
         if n == 0 {
             return Err("cannot generate random queries on an empty graph".into());
         }
         let mut rng = hcl_core::testkit::SplitMix64::new(opts.seed);
-        return Ok((0..count)
-            .map(|_| {
-                (
-                    rng.next_below(n as u64) as VertexId,
-                    rng.next_below(n as u64) as VertexId,
-                )
-            })
-            .collect());
+        return Ok(Workload {
+            source: "--random".into(),
+            pairs: (0..count)
+                .map(|_| {
+                    (
+                        0,
+                        rng.next_below(n as u64) as VertexId,
+                        rng.next_below(n as u64) as VertexId,
+                    )
+                })
+                .collect(),
+        });
     }
     if let Some(path) = &opts.queries_path {
         let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-        return parse_pairs(std::io::BufReader::new(file), path);
+        return Ok(Workload {
+            source: path.clone(),
+            pairs: parse_pairs_numbered(std::io::BufReader::new(file), path)?,
+        });
     }
     let stdin = std::io::stdin();
     if stdin.is_terminal() {
         eprintln!("reading queries from stdin: one `u v` pair per line, Ctrl-D to finish");
     }
-    parse_pairs(stdin.lock(), "stdin")
+    Ok(Workload {
+        source: "stdin".into(),
+        pairs: parse_pairs_numbered(stdin.lock(), "stdin")?,
+    })
 }
 
 fn cmd_query(args: Vec<String>) -> Result<(), String> {
@@ -377,14 +493,24 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
         opts.index_path.as_deref(),
         opts.graph_path.as_deref(),
         opts.num_landmarks.unwrap_or(16),
+        resolve_build_threads(opts.threads),
     )?;
     let (graph, index) = source.views();
 
-    let queries = collect_queries(&opts, graph.num_vertices())?;
-    let n = graph.num_vertices() as u64;
-    for &(u, v) in &queries {
-        if u as u64 >= n || v as u64 >= n {
-            return Err(format!("query ({u}, {v}) out of range (n = {n})"));
+    let workload = collect_queries(&opts, graph.num_vertices())?;
+    let n = graph.num_vertices();
+    // Out-of-range ids are diagnosed with their source line and skipped —
+    // the same skip-don't-die contract `serve` has always had, so a batch
+    // file with one bad id still gets its other answers.
+    let mut queries = Vec::with_capacity(workload.pairs.len());
+    for &(lineno, u, v) in &workload.pairs {
+        if (u as usize) < n && (v as usize) < n {
+            queries.push((u, v));
+        } else {
+            eprintln!(
+                "error: {}:{lineno}: query ({u}, {v}) out of range (n = {n}); skipped",
+                workload.source
+            );
         }
     }
 
@@ -399,13 +525,16 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
     let query_time = t2.elapsed();
 
     for (&(u, v), &d) in queries.iter().zip(&answers) {
-        match d {
-            Some(d) => writeln!(out, "{u} {v} {d}"),
-            None => writeln!(out, "{u} {v} inf"),
+        if let AnswerSink::Closed = write_answer(&mut out, u, v, d, false)? {
+            eprintln!("stdout closed by reader; stopping output early");
+            break;
         }
-        .map_err(|e| format!("writing output: {e}"))?;
     }
-    out.flush().map_err(|e| format!("writing output: {e}"))?;
+    if let Err(e) = out.flush() {
+        if e.kind() != ErrorKind::BrokenPipe {
+            return Err(format!("writing output: {e}"));
+        }
+    }
 
     if !queries.is_empty() {
         eprintln!(
@@ -418,8 +547,9 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
 
     if opts.verify {
         let t3 = Instant::now();
+        let mut scratch = bfs::BfsScratch::new();
         for (&(u, v), &d) in queries.iter().zip(&answers) {
-            let oracle = bfs::distance(graph, u, v);
+            let oracle = bfs::distance_with(graph, u, v, &mut scratch);
             if d != oracle {
                 return Err(format!(
                     "VERIFICATION FAILED: query ({u}, {v}) = {d:?}, BFS oracle says {oracle:?}"
@@ -443,6 +573,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut index_path: Option<String> = None;
     let mut graph_path: Option<String> = None;
     let mut num_landmarks: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -453,6 +584,12 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                     "--landmarks",
                 ))
             }
+            "--threads" | "-t" => {
+                threads = Some(parse_or_usage(
+                    next_value(&mut args, "--threads"),
+                    "--threads",
+                ))
+            }
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -461,14 +598,15 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             }
         }
     }
-    if index_path.is_some() && num_landmarks.is_some() {
-        eprintln!("error: --landmarks only applies when building from an edge list");
+    if index_path.is_some() && (num_landmarks.is_some() || threads.is_some()) {
+        eprintln!("error: --landmarks/--threads only apply when building from an edge list");
         usage();
     }
     let source = Source::prepare(
         index_path.as_deref(),
         graph_path.as_deref(),
         num_landmarks.unwrap_or(16),
+        resolve_build_threads(threads),
     )?;
     let (graph, index) = source.views();
     let n = graph.num_vertices();
@@ -496,17 +634,18 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         let (u, v) = pair;
         if u as usize >= n || v as usize >= n {
             eprintln!(
-                "error: stdin:{}: query ({u}, {v}) out of range (n = {n})",
+                "error: stdin:{}: query ({u}, {v}) out of range (n = {n}); skipped",
                 lineno + 1
             );
             continue;
         }
-        match index.query_with(graph, &mut ctx, u, v) {
-            Some(d) => writeln!(out, "{u} {v} {d}"),
-            None => writeln!(out, "{u} {v} inf"),
+        let answer = index.query_with(graph, &mut ctx, u, v);
+        if let AnswerSink::Closed = write_answer(&mut out, u, v, answer, true)? {
+            // The reader went away (e.g. `hcl serve … | head`): that ends
+            // the session, it doesn't fail it.
+            eprintln!("stdout closed by reader; shutting down");
+            break;
         }
-        .and_then(|()| out.flush())
-        .map_err(|e| format!("writing output: {e}"))?;
         served += 1;
     }
     if served > 0 {
@@ -564,6 +703,14 @@ fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
         "label entries: {} (avg {:.2}/vertex, max {})",
         meta.label_entries, stats.avg_label_size, stats.max_label_size
     );
+    if meta.build == hcl_store::BuildInfo::default() {
+        println!("built with:    (unrecorded)");
+    } else {
+        println!(
+            "built with:    {} thread(s), landmark batch {}",
+            meta.build.threads, meta.build.batch_size
+        );
+    }
     println!("sections:");
     for s in store.sections() {
         println!(

@@ -1,0 +1,322 @@
+//! End-to-end tests of the `hcl` binary: the full build → save →
+//! mmap-load → query → inspect pipeline on degenerate graphs (`n = 0` and
+//! a single vertex), the out-of-range skip-don't-die contract shared by
+//! `query --index` and `serve`, and clean shutdown when the stdout reader
+//! disappears mid-serve (`hcl serve … | head`).
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn hcl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcl"))
+}
+
+/// A per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hcl_cli_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&p).expect("create scratch dir");
+        Self(p)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let p = self.0.join(name);
+        std::fs::write(&p, contents).expect("write scratch file");
+        p
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn hcl");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        stdout_of(&out),
+        stderr_of(&out)
+    );
+    out
+}
+
+/// Runs the whole pipeline for one edge list and returns the final
+/// `inspect` output. `stdin_queries` are piped into both `query --index`
+/// and `serve --index`; both must succeed.
+fn pipeline(scratch: &Scratch, edges: &str, stdin_queries: &str) -> String {
+    let graph = scratch.file("graph.edges", edges);
+    let index = scratch.path("graph.hcl");
+
+    run_ok(
+        hcl()
+            .arg("build")
+            .arg(&graph)
+            .arg("--out")
+            .arg(&index)
+            .args(["--landmarks", "4", "--threads", "2"]),
+    );
+
+    for sub in ["query", "serve"] {
+        let mut child = hcl()
+            .arg(sub)
+            .arg("--index")
+            .arg(&index)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn hcl");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(stdin_queries.as_bytes())
+            .expect("write queries");
+        let out = child.wait_with_output().expect("wait");
+        assert!(
+            out.status.success(),
+            "{sub} failed on pipeline graph\nstderr: {}",
+            stderr_of(&out)
+        );
+    }
+
+    stdout_of(&run_ok(hcl().arg("inspect").arg(&index)))
+}
+
+#[test]
+fn empty_graph_pipeline_builds_serves_inspects() {
+    let scratch = Scratch::new("empty");
+    let inspect = pipeline(&scratch, "# no edges at all\n", "");
+    assert!(inspect.contains("vertices:      0"), "inspect: {inspect}");
+    assert!(inspect.contains("landmarks:     0"), "inspect: {inspect}");
+    assert!(
+        inspect.contains("built with:    2 thread(s), landmark batch 8"),
+        "inspect must show recorded build metadata: {inspect}"
+    );
+}
+
+#[test]
+fn single_vertex_pipeline_answers_the_identity_query() {
+    let scratch = Scratch::new("single");
+    // A lone self-loop canonicalises to one vertex with no edges.
+    let inspect = pipeline(&scratch, "0 0\n", "0 0\n");
+    assert!(inspect.contains("vertices:      1"), "inspect: {inspect}");
+    assert!(inspect.contains("edges:         0"), "inspect: {inspect}");
+
+    // And the identity query actually answers 0.
+    let graph = scratch.file("single.edges", "0 0\n");
+    let index = scratch.path("single.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+    let queries = scratch.file("q.txt", "0 0\n");
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg("--index")
+            .arg(&index)
+            .arg("--queries")
+            .arg(&queries),
+    );
+    assert_eq!(stdout_of(&out), "0 0 0\n");
+}
+
+/// Both `query --index` and `serve` must diagnose out-of-range ids with
+/// `<source>:<line>` and keep answering the remaining queries — the two
+/// paths used to disagree (`query` died on the first bad id).
+#[test]
+fn query_and_serve_agree_on_out_of_range_handling() {
+    let scratch = Scratch::new("oor");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n");
+    let index = scratch.path("g.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+
+    let input = "0 2\n0 99\n2 2\n";
+
+    // query --index with a queries file.
+    let queries = scratch.file("queries.txt", input);
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg("--index")
+            .arg(&index)
+            .arg("--queries")
+            .arg(&queries),
+    );
+    assert_eq!(
+        stdout_of(&out),
+        "0 2 2\n2 2 0\n",
+        "good queries around the bad one must still be answered"
+    );
+    let err = stderr_of(&out);
+    let diag = format!(
+        "{}:2: query (0, 99) out of range (n = 3)",
+        queries.display()
+    );
+    assert!(err.contains(&diag), "missing `{diag}` in stderr: {err}");
+
+    // serve with the same pairs on stdin: same diagnostics, same answers.
+    let mut child = hcl()
+        .arg("serve")
+        .arg("--index")
+        .arg(&index)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    assert_eq!(stdout_of(&out), "0 2 2\n2 2 0\n");
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("stdin:2: query (0, 99) out of range (n = 3)"),
+        "serve diagnostics changed: {err}"
+    );
+}
+
+/// `hcl serve … | head`-style reader disappearance: the serve loop must
+/// treat the broken pipe as end-of-session — summary on stderr, exit 0 —
+/// not abort with `error: writing output`.
+#[test]
+fn serve_survives_stdout_reader_closing() {
+    let scratch = Scratch::new("epipe");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n2 3\n");
+    let index = scratch.path("g.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+
+    let mut child = hcl()
+        .arg("serve")
+        .arg("--index")
+        .arg(&index)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // Close the read end of stdout before feeding any queries, so the
+    // first per-line flush hits EPIPE deterministically.
+    drop(child.stdout.take());
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    for _ in 0..64 {
+        if stdin.write_all(b"0 3\n").is_err() {
+            break; // serve already shut down and closed its stdin — fine
+        }
+    }
+    drop(stdin);
+
+    let status = child.wait().expect("wait");
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut err)
+        .expect("read stderr");
+
+    assert!(
+        status.success(),
+        "serve must exit 0 on a closed stdout, stderr: {err}"
+    );
+    assert!(
+        err.contains("stdout closed by reader"),
+        "missing shutdown note: {err}"
+    );
+    assert!(
+        !err.contains("error: writing output"),
+        "broken pipe still reported as a write error: {err}"
+    );
+}
+
+/// The same reader-closing resilience for the batch `query` path.
+#[test]
+fn query_survives_stdout_reader_closing() {
+    let scratch = Scratch::new("epipe_query");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n");
+    let index = scratch.path("g.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+
+    let mut child = hcl()
+        .arg("query")
+        .arg("--index")
+        .arg(&index)
+        .args(["--random", "100000"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn query");
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait");
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut err)
+        .expect("read stderr");
+    assert!(
+        status.success(),
+        "query must exit 0 on a closed stdout, stderr: {err}"
+    );
+}
+
+/// `--threads` must not change what gets served: byte-compare the section
+/// payloads of containers built sequentially and with 4 threads (their
+/// headers differ only in the recorded build metadata and checksum).
+#[test]
+fn threads_flag_does_not_change_the_served_index() {
+    let scratch = Scratch::new("threads");
+    // A graph big enough that batching actually spans several batches.
+    let edges: String = (0..400u32)
+        .map(|i| format!("{} {}\n", i, (i * 7 + 1) % 400))
+        .collect();
+    let graph = scratch.file("g.edges", &edges);
+    let seq = scratch.path("seq.hcl");
+    let par = scratch.path("par.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&seq).args([
+        "--landmarks",
+        "24",
+        "--threads",
+        "1",
+    ]));
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&par).args([
+        "--landmarks",
+        "24",
+        "--threads",
+        "4",
+    ]));
+    let a = std::fs::read(&seq).expect("read seq");
+    let b = std::fs::read(&par).expect("read par");
+    assert_eq!(
+        a[hcl_store::HEADER_LEN..],
+        b[hcl_store::HEADER_LEN..],
+        "served payload must be thread-count independent"
+    );
+    assert_ne!(a, b, "recorded build metadata should differ");
+}

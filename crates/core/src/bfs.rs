@@ -11,6 +11,52 @@
 use crate::graph::{GraphView, VertexId, INFINITY};
 use std::collections::VecDeque;
 
+/// Reusable BFS scratch space: one distance array, one FIFO queue, and the
+/// touched-list used to reset the distance array in `O(visited)` instead of
+/// `O(n)`.
+///
+/// This is the allocation-free building block for callers that run many
+/// searches back to back — the batch verifier in the CLI, and every worker
+/// of the parallel index builder (via `hcl-index`'s `BuildContext`). The
+/// fields are public so specialised traversals (e.g. the pruned landmark
+/// BFS) can drive the loop themselves while reusing the buffers; the only
+/// invariant to uphold is the one [`reset`](BfsScratch::reset) restores:
+/// **every vertex whose `dist` entry is not [`INFINITY`] must be on
+/// `touched`**.
+#[derive(Default)]
+pub struct BfsScratch {
+    /// Per-vertex distances; [`INFINITY`] everywhere between searches.
+    pub dist: Vec<u32>,
+    /// FIFO frontier queue; empty between searches.
+    pub queue: VecDeque<VertexId>,
+    /// Vertices whose `dist` entry was written by the current search.
+    pub touched: Vec<VertexId>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers grow lazily to the graph size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the distance array to at least `n` entries (all [`INFINITY`]).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+        }
+    }
+
+    /// Restores the between-searches invariant: resets every touched
+    /// distance back to [`INFINITY`] and clears the queue and touched-list.
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+}
+
 /// Distances from `src` to every vertex, with [`INFINITY`] for vertices in
 /// other connected components.
 ///
@@ -18,20 +64,42 @@ use std::collections::VecDeque;
 /// Panics if `src` is out of range.
 pub fn distances_from<'a>(graph: impl Into<GraphView<'a>>, src: VertexId) -> Vec<u32> {
     let graph = graph.into();
-    let mut dist = vec![INFINITY; graph.num_vertices()];
-    dist[src as usize] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
+    let mut scratch = BfsScratch::new();
+    distances_from_with(graph, src, &mut scratch);
+    scratch.dist
+}
+
+/// Runs a full BFS from `src`, leaving per-vertex distances in
+/// `scratch.dist` and the visited set in `scratch.touched`.
+///
+/// The allocation-free form of [`distances_from`]: the caller owns the
+/// scratch and reads the results out of it, then the next search reuses the
+/// same buffers. `scratch` is [`reset`](BfsScratch::reset) on entry, so the
+/// results stay readable until the next call.
+///
+/// # Panics
+/// Panics if `src` is out of range.
+pub fn distances_from_with<'a>(
+    graph: impl Into<GraphView<'a>>,
+    src: VertexId,
+    scratch: &mut BfsScratch,
+) {
+    let graph = graph.into();
+    scratch.reset();
+    scratch.ensure_capacity(graph.num_vertices());
+    scratch.dist[src as usize] = 0;
+    scratch.touched.push(src);
+    scratch.queue.push_back(src);
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u as usize];
         for &w in graph.neighbors(u) {
-            if dist[w as usize] == INFINITY {
-                dist[w as usize] = du + 1;
-                queue.push_back(w);
+            if scratch.dist[w as usize] == INFINITY {
+                scratch.dist[w as usize] = du + 1;
+                scratch.touched.push(w);
+                scratch.queue.push_back(w);
             }
         }
     }
-    dist
 }
 
 /// Exact distance between `u` and `v`, or `None` if they are disconnected.
@@ -42,24 +110,44 @@ pub fn distances_from<'a>(graph: impl Into<GraphView<'a>>, src: VertexId) -> Vec
 /// # Panics
 /// Panics if `u` or `v` is out of range.
 pub fn distance<'a>(graph: impl Into<GraphView<'a>>, u: VertexId, v: VertexId) -> Option<u32> {
+    distance_with(graph, u, v, &mut BfsScratch::new())
+}
+
+/// Exact distance between `u` and `v` reusing caller-owned scratch — the
+/// batch form of [`distance`], e.g. for verifying many answers in a row.
+///
+/// # Panics
+/// Panics if `u` or `v` is out of range.
+pub fn distance_with<'a>(
+    graph: impl Into<GraphView<'a>>,
+    u: VertexId,
+    v: VertexId,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
     let graph = graph.into();
     assert!((v as usize) < graph.num_vertices(), "vertex out of range");
     if u == v {
         return Some(0);
     }
-    let mut dist = vec![INFINITY; graph.num_vertices()];
-    dist[u as usize] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(u);
-    while let Some(x) = queue.pop_front() {
-        let dx = dist[x as usize];
+    scratch.reset();
+    scratch.ensure_capacity(graph.num_vertices());
+    scratch.dist[u as usize] = 0;
+    scratch.touched.push(u);
+    scratch.queue.push_back(u);
+    while let Some(x) = scratch.queue.pop_front() {
+        let dx = scratch.dist[x as usize];
         for &w in graph.neighbors(x) {
-            if dist[w as usize] == INFINITY {
+            if scratch.dist[w as usize] == INFINITY {
                 if w == v {
+                    // Leave the partial search on the touched-list; the next
+                    // call's reset() cleans it up.
+                    scratch.touched.push(w);
+                    scratch.dist[w as usize] = dx + 1;
                     return Some(dx + 1);
                 }
-                dist[w as usize] = dx + 1;
-                queue.push_back(w);
+                scratch.dist[w as usize] = dx + 1;
+                scratch.touched.push(w);
+                scratch.queue.push_back(w);
             }
         }
     }
@@ -87,6 +175,22 @@ mod tests {
         let g = b.build();
         assert_eq!(distance(&g, 0, 3), None);
         assert_eq!(distances_from(&g, 0), vec![0, 1, INFINITY, INFINITY]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_searches() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        let g = b.build();
+        let mut scratch = BfsScratch::new();
+        for _ in 0..3 {
+            assert_eq!(distance_with(&g, 0, 2, &mut scratch), Some(2));
+            assert_eq!(distance_with(&g, 0, 4, &mut scratch), None);
+            distances_from_with(&g, 3, &mut scratch);
+            assert_eq!(scratch.dist[4], 1);
+            assert_eq!(scratch.dist[0], INFINITY);
+            assert_eq!(scratch.touched.len(), 2);
+        }
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Index construction: pruned landmark BFS, deterministic batching, and
+//! the highway matrix.
+//!
+//! # The batched build and why it parallelises
+//!
+//! The labelling is one pruned BFS per landmark. Each search reads two
+//! pieces of shared state — the labels recorded by earlier landmarks and
+//! the highway row of its own landmark — and produces two fragments: the
+//! vertices it labels and the landmark-to-landmark depths it discovers.
+//! The searches are therefore independent *modulo* that shared state, and
+//! this module exploits it deterministically:
+//!
+//! * Landmarks are processed in **rank-ordered batches** of fixed size
+//!   ([`BuildOptions::batch_size`], default
+//!   [`BuildOptions::DEFAULT_BATCH_SIZE`]).
+//! * Every search in a batch runs against a **read-only snapshot** of the
+//!   shared state as it stood when the batch started — domination pruning
+//!   consults only labels and highway entries from strictly earlier
+//!   batches, plus the highway depths the search itself discovers.
+//! * After a batch completes, a **merge in landmark-rank order** folds the
+//!   per-landmark fragments back into the shared state.
+//!
+//! Because a search never observes a batch-mate's results, the output is a
+//! pure function of the graph, the landmark count, and the batch size —
+//! **byte-identical for every thread count**, which
+//! `tests/parallel_build.rs` asserts across all testkit families. The
+//! sequential builder ([`sequential`]) is literally the `threads = 1` case
+//! of the same batched algorithm; [`parallel`] shards each batch over
+//! `std::thread::scope` workers, each with its own reusable
+//! [`BuildContext`].
+//!
+//! Batch-local blindness can only *weaken* pruning (a batch-mate's label
+//! that would have dominated a vertex is not visible yet), so labels may
+//! hold slightly more entries than a fully sequential ordering would
+//! produce — never any wrong ones, and exactness of every query is
+//! unaffected (the oracle property tests run over the batched output).
+
+mod state;
+
+pub(crate) mod parallel;
+pub(crate) mod sequential;
+
+use crate::view::IndexView;
+use hcl_core::bfs::BfsScratch;
+use hcl_core::{Graph, VertexId};
+use state::BuildState;
+
+/// Sentinel rank for vertices that are not landmarks.
+pub(crate) const NOT_A_LANDMARK: u32 = u32::MAX;
+
+/// Construction parameters for [`HighwayCoverIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Number of landmarks (highest-degree vertices). Clamped to the vertex
+    /// count at build time. More landmarks shrink the fallback search at the
+    /// cost of larger labels and a longer build.
+    pub num_landmarks: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self { num_landmarks: 16 }
+    }
+}
+
+/// Full construction options: landmark count plus the parallel-build knobs.
+///
+/// [`IndexConfig`] stays the simple "how many landmarks" surface;
+/// `BuildOptions` adds worker-thread and batching control for
+/// [`HighwayCoverIndex::build_with`]. The batch size — not the thread
+/// count — is what shapes the output: for a fixed batch size the built
+/// index is byte-identical at every thread count (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions {
+    /// Number of landmarks; clamped to the vertex count at build time.
+    pub num_landmarks: usize,
+    /// Worker threads. `0` means auto: the `HCL_BUILD_THREADS` environment
+    /// variable if set to a positive integer, otherwise `1` (the
+    /// sequential path). The thread count never changes the output.
+    pub threads: usize,
+    /// Landmarks per batch. `0` means [`Self::DEFAULT_BATCH_SIZE`]. Larger
+    /// batches expose more parallelism but weaken domination pruning
+    /// (batch-mates cannot prune against each other), so labels grow;
+    /// `1` reproduces the fully sequential pruning order exactly.
+    pub batch_size: usize,
+}
+
+impl BuildOptions {
+    /// Default landmarks-per-batch when [`BuildOptions::batch_size`] is 0.
+    pub const DEFAULT_BATCH_SIZE: usize = 8;
+
+    /// The worker-thread count this configuration resolves to (see
+    /// [`BuildOptions::threads`]).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        Self::threads_from_env(1)
+    }
+
+    /// Thread count requested via the `HCL_BUILD_THREADS` environment
+    /// variable, or `fallback` when unset/invalid/zero.
+    ///
+    /// The single authority on the env var's semantics: the library's auto
+    /// mode falls back to `1` (never surprise a host process with
+    /// parallelism), while the CLI passes all available cores.
+    pub fn threads_from_env(fallback: usize) -> usize {
+        std::env::var("HCL_BUILD_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(fallback)
+    }
+
+    /// The batch size this configuration resolves to (see
+    /// [`BuildOptions::batch_size`]).
+    pub fn resolved_batch_size(&self) -> usize {
+        if self.batch_size > 0 {
+            self.batch_size
+        } else {
+            Self::DEFAULT_BATCH_SIZE
+        }
+    }
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            num_landmarks: IndexConfig::default().num_landmarks,
+            threads: 0,
+            batch_size: 0,
+        }
+    }
+}
+
+impl From<IndexConfig> for BuildOptions {
+    fn from(config: IndexConfig) -> Self {
+        Self {
+            num_landmarks: config.num_landmarks,
+            ..Self::default()
+        }
+    }
+}
+
+/// Reusable scratch space for one build worker, mirroring
+/// [`QueryContext`](crate::QueryContext) on the query side.
+///
+/// A pruned landmark BFS needs a distance array, a queue, a touched-list
+/// (all provided by [`BfsScratch`] from `hcl-core`), and a private copy of
+/// its landmark's highway row. One context serves any number of searches —
+/// buffers are reset via the touched-list, so reuse costs `O(visited)` per
+/// search, not `O(n)`. Create one per worker thread; callers that rebuild
+/// indexes repeatedly can hold a pool and pass it to
+/// [`HighwayCoverIndex::build_in`].
+#[derive(Default)]
+pub struct BuildContext {
+    pub(crate) scratch: BfsScratch,
+    pub(crate) highway_row: Vec<u32>,
+}
+
+impl BuildContext {
+    /// Creates an empty context; buffers grow lazily to the graph size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `a + b` in distance arithmetic: saturating addition.
+///
+/// Because [`INFINITY`](hcl_core::INFINITY) is `u32::MAX`, saturation
+/// doubles as absorption — anything plus unreachable stays unreachable, and
+/// a sum that would wrap clamps to the sentinel instead of turning into a
+/// small bogus "distance". Used by the Floyd–Warshall closure and the
+/// domination check, where operands can sit near the sentinel when fed a
+/// hostile (well-formed but semantically tampered) index file.
+#[inline]
+pub(crate) fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}
+
+/// Size and shape statistics of a built index, for logging and tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStats {
+    /// Number of landmarks actually used (≤ configured).
+    pub num_landmarks: usize,
+    /// Total `(hub, dist)` entries across all vertex labels.
+    pub total_label_entries: usize,
+    /// Mean label entries per vertex.
+    pub avg_label_size: f64,
+    /// Largest single vertex label.
+    pub max_label_size: usize,
+    /// Approximate flat footprint of the index arrays in bytes.
+    pub bytes: usize,
+}
+
+/// A built highway-cover 2-hop labelling over one [`Graph`] — the owned,
+/// `Vec`-backed storage of the index.
+///
+/// The index borrows nothing: it is a standalone snapshot that answers
+/// queries together with the graph it was built from (the fallback BFS
+/// needs adjacency). Label arrays are stored CSR-style in flat vectors with
+/// fixed-width elements, so the layout matches `hcl-store`'s on-disk format
+/// and a file can be served back as a borrowed
+/// [`IndexView`](crate::IndexView) without copying. All read paths delegate
+/// through [`HighwayCoverIndex::as_view`].
+pub struct HighwayCoverIndex {
+    /// Landmark rank → vertex id, in ranking order (rank 0 = highest degree).
+    pub(crate) landmarks: Vec<VertexId>,
+    /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`]; length is the
+    /// vertex count of the build graph.
+    pub(crate) landmark_rank: Vec<u32>,
+    /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
+    pub(crate) label_offsets: Vec<u64>,
+    /// Hub (landmark rank) per label entry, ascending within each vertex.
+    pub(crate) label_hubs: Vec<u32>,
+    /// Distance to the hub per label entry.
+    pub(crate) label_dists: Vec<u32>,
+    /// Row-major `k × k` landmark-to-landmark distances, closed under
+    /// shortest paths (Floyd–Warshall), [`INFINITY`](hcl_core::INFINITY)
+    /// when disconnected.
+    pub(crate) highway: Vec<u32>,
+}
+
+impl HighwayCoverIndex {
+    /// Builds the index for `graph` with the given configuration.
+    ///
+    /// Runs one pruned BFS per landmark (see the module docs for the
+    /// batched schedule). A BFS from landmark `r` stops at two kinds of
+    /// vertices:
+    ///
+    /// * another landmark — its depth seeds the highway matrix and the
+    ///   search does not continue through it, so every recorded label
+    ///   distance is over a path whose interior avoids landmarks;
+    /// * a vertex whose distance to `r` is already covered at least as well
+    ///   via an earlier-batch landmark and the highway (*domination
+    ///   pruning*) — this is what keeps labels small on complex networks.
+    ///
+    /// The highway matrix is then closed with Floyd–Warshall over the `k`
+    /// landmarks so it holds exact landmark-to-landmark distances.
+    ///
+    /// Thread count defaults to auto (`HCL_BUILD_THREADS` or sequential);
+    /// use [`HighwayCoverIndex::build_with`] for explicit control.
+    pub fn build(graph: &Graph, config: IndexConfig) -> Self {
+        Self::build_with(graph, &BuildOptions::from(config))
+    }
+
+    /// Builds the index with explicit thread/batch control.
+    ///
+    /// For a fixed batch size the result is **byte-identical at every
+    /// thread count**; `threads = 1` runs fully in the calling thread with
+    /// one [`BuildContext`].
+    pub fn build_with(graph: &Graph, options: &BuildOptions) -> Self {
+        // A batch holds at most batch_size searches, so extra workers
+        // beyond that could never receive work — don't create them.
+        let threads = options
+            .resolved_threads()
+            .clamp(1, options.resolved_batch_size());
+        let mut contexts: Vec<BuildContext> = (0..threads).map(|_| BuildContext::new()).collect();
+        Self::build_in(graph, options, &mut contexts)
+    }
+
+    /// Builds the index reusing caller-owned worker scratch — the
+    /// allocation-amortising form of [`HighwayCoverIndex::build_with`] for
+    /// repeated builds (benchmarks, rebuild loops).
+    ///
+    /// One worker runs per context, so `contexts.len()` — not
+    /// [`BuildOptions::threads`] — is the thread count here, capped at the
+    /// per-batch job count (extra workers could never receive work). An
+    /// empty slice builds sequentially with a temporary context.
+    pub fn build_in(graph: &Graph, options: &BuildOptions, contexts: &mut [BuildContext]) -> Self {
+        let graph = graph.as_view();
+        let batch_size = options.resolved_batch_size();
+        let mut state = BuildState::new(graph, options.num_landmarks);
+        // Contexts beyond the per-batch job count could never receive
+        // work; cap the pool so no idle worker threads get spawned.
+        let workers = contexts.len().min(batch_size).min(state.num_landmarks());
+        match &mut contexts[..workers] {
+            [] => sequential::run(graph, &mut state, batch_size, &mut BuildContext::new()),
+            [cx] => sequential::run(graph, &mut state, batch_size, cx),
+            many => parallel::run(graph, &mut state, batch_size, many),
+        }
+        state.finish()
+    }
+
+    /// A borrowed, `Copy` view of this index. Cheap; this is the type the
+    /// whole query engine is implemented on, shared with mmap-backed
+    /// storage.
+    pub fn as_view(&self) -> IndexView<'_> {
+        IndexView {
+            landmarks: &self.landmarks,
+            landmark_rank: &self.landmark_rank,
+            label_offsets: &self.label_offsets,
+            label_hubs: &self.label_hubs,
+            label_dists: &self.label_dists,
+            highway: &self.highway,
+        }
+    }
+
+    /// Number of landmarks in the index.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Vertex count of the graph this index was built for.
+    pub fn num_vertices(&self) -> usize {
+        self.landmark_rank.len()
+    }
+
+    /// The `(hub rank, distance)` label entries of vertex `v`, hub-sorted.
+    pub fn label(&self, v: VertexId) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.as_view().label(v)
+    }
+
+    /// Whether vertex `v` is a landmark.
+    pub fn is_landmark(&self, v: VertexId) -> bool {
+        self.as_view().is_landmark(v)
+    }
+
+    /// Size statistics for logging and tuning.
+    pub fn stats(&self) -> IndexStats {
+        self.as_view().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::testkit;
+    use hcl_core::INFINITY;
+
+    #[test]
+    fn star_landmark_is_the_centre() {
+        let g = testkit::star(10);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 1 });
+        assert_eq!(idx.num_landmarks(), 1);
+        assert!(idx.is_landmark(0));
+        // Every leaf is labelled with the centre at distance 1.
+        for leaf in 1..10 {
+            assert_eq!(idx.label(leaf).collect::<Vec<_>>(), vec![(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn landmark_count_clamps_to_vertex_count() {
+        let g = testkit::path(3);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 100 });
+        assert_eq!(idx.num_landmarks(), 3);
+    }
+
+    #[test]
+    fn labels_are_hub_sorted() {
+        let g = testkit::erdos_renyi(60, 0.08, 3);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 8 });
+        for v in 0..60 {
+            let hubs: Vec<u32> = idx.label(v).map(|(h, _)| h).collect();
+            let mut sorted = hubs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(hubs, sorted, "label of {v} not sorted/deduped");
+        }
+    }
+
+    #[test]
+    fn stats_report_plausible_sizes() {
+        let g = testkit::grid(8, 8);
+        let idx = HighwayCoverIndex::build(&g, IndexConfig::default());
+        let s = idx.stats();
+        assert_eq!(s.num_landmarks, 16);
+        assert!(s.total_label_entries > 0);
+        assert!(s.max_label_size <= 16);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn sat_add_is_saturating_and_infinity_absorbing() {
+        assert_eq!(sat_add(2, 3), 5);
+        assert_eq!(sat_add(INFINITY, 0), INFINITY);
+        assert_eq!(sat_add(0, INFINITY), INFINITY);
+        assert_eq!(sat_add(INFINITY, INFINITY), INFINITY);
+        // Near-sentinel operands must clamp, never wrap to a small value.
+        assert_eq!(sat_add(INFINITY - 1, 1), INFINITY);
+        assert_eq!(sat_add(INFINITY - 1, INFINITY - 1), INFINITY);
+        assert_eq!(sat_add(INFINITY - 5, 2), INFINITY - 3);
+    }
+
+    #[test]
+    fn batch_size_one_matches_sequential_pruning_order() {
+        // Batch size 1 reproduces the fully sequential pruning order; the
+        // batched default can only label the same vertices or more.
+        let g = testkit::barabasi_albert(80, 3, 11);
+        let opts = |batch_size| BuildOptions {
+            num_landmarks: 16,
+            threads: 1,
+            batch_size,
+        };
+        let tight = HighwayCoverIndex::build_with(&g, &opts(1));
+        let batched = HighwayCoverIndex::build_with(&g, &opts(0));
+        assert!(tight.stats().total_label_entries <= batched.stats().total_label_entries);
+        // Both remain exact: spot-check a few pairs against the oracle.
+        for (u, v) in [(0, 79), (3, 41), (17, 17), (60, 2)] {
+            let expected = hcl_core::bfs::distance(&g, u, v);
+            assert_eq!(tight.query(&g, u, v), expected);
+            assert_eq!(batched.query(&g, u, v), expected);
+        }
+    }
+
+    #[test]
+    fn build_options_resolve_explicit_values() {
+        let opts = BuildOptions::default();
+        assert_eq!(opts.resolved_batch_size(), BuildOptions::DEFAULT_BATCH_SIZE);
+        let explicit = BuildOptions {
+            threads: 3,
+            batch_size: 5,
+            ..BuildOptions::default()
+        };
+        assert_eq!(explicit.resolved_threads(), 3);
+        assert_eq!(explicit.resolved_batch_size(), 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! The multi-threaded build driver: scoped-thread landmark sharding.
+//!
+//! Rayon-free by design (the build environment has no registry access):
+//! each batch opens a `std::thread::scope`, one worker per
+//! [`BuildContext`], and workers pull landmark ranks from a shared atomic
+//! cursor — cheap dynamic load balancing, since pruned-BFS cost varies by
+//! landmark. Workers return their fragments through the join handles; the
+//! driver sorts them by rank and merges, so the result is byte-identical
+//! to the sequential driver regardless of how the OS schedules workers.
+//!
+//! Spawning per batch keeps the lifetimes trivial (the scope's shared
+//! borrow of the state ends before the merge needs it mutably) and costs
+//! microseconds per batch — noise next to the BFS work a batch contains.
+
+use super::state::{pruned_bfs, BuildState, LandmarkFragment};
+use super::BuildContext;
+use hcl_core::GraphView;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub(crate) fn run(
+    graph: GraphView<'_>,
+    state: &mut BuildState,
+    batch_size: usize,
+    contexts: &mut [BuildContext],
+) {
+    let k = state.num_landmarks();
+    let mut start = 0usize;
+    while start < k {
+        let end = (start + batch_size).min(k);
+        let cursor = AtomicUsize::new(start);
+        let snapshot: &BuildState = state;
+        let mut frags: Vec<LandmarkFragment> = std::thread::scope(|s| {
+            let handles: Vec<_> = contexts
+                .iter_mut()
+                .map(|cx| {
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let rank = cursor.fetch_add(1, Ordering::Relaxed);
+                            if rank >= end {
+                                break;
+                            }
+                            out.push(pruned_bfs(graph, snapshot, rank, cx));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("build worker panicked"))
+                .collect()
+        });
+        frags.sort_unstable_by_key(|f| f.rank);
+        for frag in frags {
+            state.merge(frag);
+        }
+        start = end;
+    }
+}

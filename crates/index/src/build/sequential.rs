@@ -1,0 +1,36 @@
+//! The sequential build driver — the `threads = 1` case of the batched
+//! algorithm.
+//!
+//! Identical schedule to [`parallel`](super::parallel): searches within a
+//! batch run against the batch-start snapshot (merges are deferred to the
+//! end of the batch), so the output is byte-identical to any multi-threaded
+//! run with the same batch size. The only difference is that the searches
+//! run one after another in the calling thread, reusing one
+//! [`BuildContext`](super::BuildContext).
+
+use super::state::{pruned_bfs, BuildState};
+use super::BuildContext;
+use hcl_core::GraphView;
+
+pub(crate) fn run(
+    graph: GraphView<'_>,
+    state: &mut BuildState,
+    batch_size: usize,
+    cx: &mut BuildContext,
+) {
+    let k = state.num_landmarks();
+    let mut start = 0usize;
+    while start < k {
+        let end = (start + batch_size).min(k);
+        // Collect the whole batch before merging: `pruned_bfs` holds the
+        // state by shared reference, so later searches in the batch cannot
+        // accidentally observe earlier ones — same visibility as workers.
+        let frags: Vec<_> = (start..end)
+            .map(|rank| pruned_bfs(graph, state, rank, cx))
+            .collect();
+        for frag in frags {
+            state.merge(frag);
+        }
+        start = end;
+    }
+}

@@ -1,0 +1,214 @@
+//! Shared build state, the pruned landmark BFS, and the deterministic
+//! merge that folds per-landmark fragments back in rank order.
+//!
+//! The contract that makes the build thread-count-invariant lives here:
+//! [`pruned_bfs`] takes the state by shared reference (a worker can never
+//! observe a batch-mate's results), and [`BuildState::merge`] is the only
+//! mutation point, called by the drivers strictly in landmark-rank order
+//! after each batch.
+
+use super::{sat_add, BuildContext, HighwayCoverIndex, NOT_A_LANDMARK};
+use hcl_core::{GraphView, VertexId, INFINITY};
+
+/// Everything a pruned BFS reads and a merge writes: the landmark set, the
+/// per-vertex labels accumulated so far, and the (unclosed) highway matrix.
+pub(crate) struct BuildState {
+    k: usize,
+    landmarks: Vec<VertexId>,
+    landmark_rank: Vec<u32>,
+    /// Per-vertex labels, grown batch by batch in landmark-rank order so
+    /// each vector is already hub-sorted when flattened at the end.
+    labels: Vec<Vec<(u32, u32)>>,
+    /// Row-major `k × k`, diagonal zero, [`INFINITY`] elsewhere until
+    /// seeded by merges and closed by [`BuildState::finish`].
+    highway: Vec<u32>,
+}
+
+/// What one pruned BFS produces: the vertices it labels (in discovery
+/// order, starting with its own root at distance 0) and the depth at which
+/// it reached each other landmark.
+pub(crate) struct LandmarkFragment {
+    pub(crate) rank: usize,
+    /// `(vertex, distance)` pairs to become `(rank, distance)` labels.
+    labelled: Vec<(VertexId, u32)>,
+    /// `(other rank, depth)` highway seeds discovered by this search.
+    highway_seeds: Vec<(u32, u32)>,
+}
+
+impl BuildState {
+    pub(crate) fn new(graph: GraphView<'_>, num_landmarks: usize) -> Self {
+        let n = graph.num_vertices();
+        let k = num_landmarks.min(n);
+
+        let ranking = graph.rank_by_degree();
+        let landmarks: Vec<VertexId> = ranking[..k].to_vec();
+        let mut landmark_rank = vec![NOT_A_LANDMARK; n];
+        for (rank, &v) in landmarks.iter().enumerate() {
+            landmark_rank[v as usize] = rank as u32;
+        }
+
+        let mut highway = vec![INFINITY; k * k];
+        for i in 0..k {
+            highway[i * k + i] = 0;
+        }
+
+        Self {
+            k,
+            landmarks,
+            landmark_rank,
+            labels: vec![Vec::new(); n],
+            highway,
+        }
+    }
+
+    pub(crate) fn num_landmarks(&self) -> usize {
+        self.k
+    }
+
+    /// Folds one fragment into the shared state. Must be called in
+    /// landmark-rank order (the drivers sort each batch before merging);
+    /// this ordering is what keeps per-vertex labels hub-sorted and the
+    /// output independent of worker scheduling.
+    pub(crate) fn merge(&mut self, frag: LandmarkFragment) {
+        let (i, k) = (frag.rank, self.k);
+        for (v, d) in frag.labelled {
+            self.labels[v as usize].push((i as u32, d));
+        }
+        for (j, d) in frag.highway_seeds {
+            let j = j as usize;
+            let best = self.highway[i * k + j].min(d);
+            self.highway[i * k + j] = best;
+            self.highway[j * k + i] = best;
+        }
+    }
+
+    /// Closes the highway and flattens the labels into the final index.
+    pub(crate) fn finish(self) -> HighwayCoverIndex {
+        let Self {
+            k,
+            landmarks,
+            landmark_rank,
+            labels,
+            mut highway,
+        } = self;
+
+        // Close the highway so it holds exact landmark-to-landmark
+        // distances: a shortest landmark-to-landmark path decomposes into
+        // landmark-free segments, each of which the pruned BFS measured.
+        // Saturating adds keep near-INFINITY operands from wrapping into
+        // small bogus distances.
+        for mid in 0..k {
+            for a in 0..k {
+                let via_a = highway[a * k + mid];
+                if via_a == INFINITY {
+                    continue;
+                }
+                for b in 0..k {
+                    let via_b = highway[mid * k + b];
+                    if via_b == INFINITY {
+                        continue;
+                    }
+                    let cand = sat_add(via_a, via_b);
+                    let entry = &mut highway[a * k + b];
+                    if cand < *entry {
+                        *entry = cand;
+                    }
+                }
+            }
+        }
+
+        // Flatten labels CSR-style.
+        let n = labels.len();
+        let mut label_offsets = Vec::with_capacity(n + 1);
+        label_offsets.push(0);
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut label_hubs = Vec::with_capacity(total);
+        let mut label_dists = Vec::with_capacity(total);
+        for per_vertex in &labels {
+            for &(hub, d) in per_vertex {
+                label_hubs.push(hub);
+                label_dists.push(d);
+            }
+            label_offsets.push(label_hubs.len() as u64);
+        }
+
+        HighwayCoverIndex {
+            landmarks,
+            landmark_rank,
+            label_offsets,
+            label_hubs,
+            label_dists,
+            highway,
+        }
+    }
+}
+
+/// One pruned BFS from the landmark of rank `rank`, against a read-only
+/// snapshot of the shared state.
+///
+/// The search carries a private copy of its landmark's highway row
+/// (`cx.highway_row`): it starts from the snapshot and absorbs the depths
+/// the search itself discovers, so domination decisions see exactly what a
+/// fully sequential run with the same batch schedule would see — nothing a
+/// concurrent batch-mate produces.
+pub(crate) fn pruned_bfs(
+    graph: GraphView<'_>,
+    state: &BuildState,
+    rank: usize,
+    cx: &mut BuildContext,
+) -> LandmarkFragment {
+    let k = state.k;
+    let root = state.landmarks[rank];
+    let mut frag = LandmarkFragment {
+        rank,
+        labelled: vec![(root, 0)],
+        highway_seeds: Vec::new(),
+    };
+
+    cx.scratch.reset();
+    cx.scratch.ensure_capacity(graph.num_vertices());
+    cx.highway_row.clear();
+    cx.highway_row
+        .extend_from_slice(&state.highway[rank * k..(rank + 1) * k]);
+
+    cx.scratch.dist[root as usize] = 0;
+    cx.scratch.touched.push(root);
+    cx.scratch.queue.push_back(root);
+
+    while let Some(v) = cx.scratch.queue.pop_front() {
+        let d = cx.scratch.dist[v as usize];
+        if v != root {
+            let other = state.landmark_rank[v as usize];
+            if other != NOT_A_LANDMARK {
+                // Reached another landmark: seed the highway, prune.
+                let j = other as usize;
+                if d < cx.highway_row[j] {
+                    cx.highway_row[j] = d;
+                }
+                frag.highway_seeds.push((other, d));
+                continue;
+            }
+            // Domination pruning: if an earlier-batch landmark already
+            // covers this vertex at least as well (via the highway row as
+            // this search knows it), neither label nor expand.
+            let dominated = state.labels[v as usize].iter().any(|&(j, dj)| {
+                let h = cx.highway_row[j as usize];
+                h != INFINITY && sat_add(h, dj) <= d
+            });
+            if dominated {
+                continue;
+            }
+            frag.labelled.push((v, d));
+        }
+        for &w in graph.neighbors(v) {
+            if cx.scratch.dist[w as usize] == INFINITY {
+                cx.scratch.dist[w as usize] = d + 1;
+                cx.scratch.touched.push(w);
+                cx.scratch.queue.push_back(w);
+            }
+        }
+    }
+
+    cx.scratch.reset();
+    frag
+}

@@ -18,6 +18,12 @@
 //! shortest paths in complex networks, and the fallback BFS explores only
 //! the sparse landmark-free residue of the graph.
 //!
+//! Construction runs the per-landmark pruned searches in deterministic
+//! rank-ordered batches, optionally sharded over scoped worker threads
+//! ([`BuildOptions`] / [`BuildContext`]); for a fixed batch size the built
+//! index is byte-identical at every thread count — see the `build` module
+//! docs for the visibility argument.
+//!
 //! Storage comes in two backings sharing one query engine:
 //!
 //! * [`HighwayCoverIndex`] — owned `Vec`s, produced by a build;
@@ -36,6 +42,6 @@ mod build;
 mod query;
 mod view;
 
-pub use build::{HighwayCoverIndex, IndexConfig, IndexStats};
+pub use build::{BuildContext, BuildOptions, HighwayCoverIndex, IndexConfig, IndexStats};
 pub use query::QueryContext;
 pub use view::{IndexDataError, IndexView};

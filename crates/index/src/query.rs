@@ -139,6 +139,12 @@ impl<'a> IndexView<'a> {
         );
         let mut best = INF64;
 
+        // All sums below run in u64 so `u32`-sized operands cannot wrap,
+        // and INFINITY-valued operands are skipped outright: a label or
+        // highway entry at the sentinel certifies nothing, and treating it
+        // as a number would let a hostile (well-formed but tampered) index
+        // manufacture near-overflow "distances".
+
         // Fast path: sorted merge over common hubs (the classic 2-hop join).
         let (mut i, mut j) = (u_lo, v_lo);
         while i < u_hi && j < v_hi {
@@ -146,8 +152,10 @@ impl<'a> IndexView<'a> {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    let cand = self.label_dists[i] as u64 + self.label_dists[j] as u64;
-                    best = best.min(cand);
+                    if self.label_dists[i] != INFINITY && self.label_dists[j] != INFINITY {
+                        let cand = self.label_dists[i] as u64 + self.label_dists[j] as u64;
+                        best = best.min(cand);
+                    }
                     i += 1;
                     j += 1;
                 }
@@ -158,7 +166,7 @@ impl<'a> IndexView<'a> {
         let k = self.landmarks.len();
         for i in u_lo..u_hi {
             let (h1, d1) = (self.label_hubs[i] as usize, self.label_dists[i] as u64);
-            if d1 >= best {
+            if d1 >= best || self.label_dists[i] == INFINITY {
                 continue;
             }
             for j in v_lo..v_hi {
@@ -167,7 +175,7 @@ impl<'a> IndexView<'a> {
                     continue; // already handled by the merge above
                 }
                 let hw = self.highway[h1 * k + h2];
-                if hw == INFINITY {
+                if hw == INFINITY || self.label_dists[j] == INFINITY {
                     continue;
                 }
                 let cand = d1 + hw as u64 + self.label_dists[j] as u64;

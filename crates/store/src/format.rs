@@ -6,17 +6,24 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic "HCLSTOR1"
 //!      8     4  format version (u32 LE)
-//!     12     4  section count (u32 LE) — always 8 in version 1
+//!     12     4  section count (u32 LE) — always 8 in version 2
 //!     16     8  total file length in bytes (u64 LE)
 //!     24     8  CRC-64/ECMA of the whole file with this field zeroed
 //!     32     8  num_vertices (u64 LE)
 //!     40     8  num_edges (u64 LE)
 //!     48     8  num_landmarks (u64 LE)
 //!     56     8  total label entries (u64 LE)
-//!     64   8·24 section table: {kind u32, elem_size u32, offset u64,
+//!     64     4  build metadata: builder worker threads (u32 LE, 0 = unrecorded)
+//!     68     4  build metadata: landmark batch size (u32 LE, 0 = unrecorded)
+//!     72     8  reserved build-metadata bytes (zeroed, ignored on read)
+//!     80   8·24 section table: {kind u32, elem_size u32, offset u64,
 //!                len_bytes u64} per section
-//!    256     …  sections, each 8-byte aligned, zero-padded between
+//!    272     …  sections, each 8-byte aligned, zero-padded between
 //! ```
+//!
+//! Version history: v1 had a 64-byte header without the build-metadata
+//! block; v2 (current) appended 16 bytes to the header for it. Readers
+//! reject other versions with a typed error rather than mis-reading.
 //!
 //! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
 //! all section offsets 8-byte aligned — which is exactly what lets a
@@ -33,12 +40,15 @@ use std::ops::Range;
 
 /// File magic: "HCLSTOR1".
 pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
-/// Format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version this build writes and reads (v2 added the 16
+/// build-metadata bytes at offset 64).
+pub const FORMAT_VERSION: u32 = 2;
 /// Fixed header length in bytes.
-pub const HEADER_LEN: usize = 64;
+pub const HEADER_LEN: usize = 80;
 /// Byte offset of the checksum field inside the header.
 pub const CHECKSUM_OFFSET: usize = 24;
+/// Byte offset of the build-metadata block inside the header.
+const BUILD_META_OFFSET: usize = 64;
 
 const SECTION_ENTRY_LEN: usize = 24;
 const NUM_SECTIONS: usize = 8;
@@ -94,6 +104,22 @@ impl SectionKind {
     }
 }
 
+/// How an index was built, recorded in the container header's
+/// build-metadata bytes. Purely informational — it never affects how the
+/// file is served — but it lets `hcl inspect` and capacity tooling tell a
+/// sequential build from a sharded one and reproduce it.
+///
+/// `0` in either field means "unrecorded" (e.g. a file written through the
+/// plain [`serialize`]/[`save`](crate::save) entry points).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Worker threads the builder ran with.
+    pub threads: u32,
+    /// Landmarks per batch (the parameter that shapes the labelling; see
+    /// `hcl-index`'s build docs).
+    pub batch_size: u32,
+}
+
 /// Build and graph metadata recorded in the header, available without
 /// touching any section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +138,8 @@ pub struct StoreMeta {
     pub num_landmarks: u64,
     /// Total `(hub, dist)` label entries of the stored index.
     pub label_entries: u64,
+    /// How the index was built (zeroed when unrecorded).
+    pub build: BuildInfo,
 }
 
 /// Location and shape of one section, for inspection tooling.
@@ -202,12 +230,24 @@ pub(crate) fn file_checksum(bytes: &[u8]) -> u64 {
     crc64_finish(state)
 }
 
-/// Serialises a graph and its index into an in-memory `.hcl` container.
+/// Serialises a graph and its index into an in-memory `.hcl` container,
+/// leaving the build-metadata bytes unrecorded (zero).
 ///
 /// Fails with [`StoreError::GraphIndexMismatch`] if the index was built for
 /// a different vertex count. Output is deterministic: the same graph and
 /// index always produce byte-identical files.
 pub fn serialize(graph: &Graph, index: &HighwayCoverIndex) -> Result<Vec<u8>, StoreError> {
+    serialize_with(graph, index, BuildInfo::default())
+}
+
+/// Serialises a graph and its index, recording how the index was built in
+/// the header's build-metadata bytes. See [`serialize`] for everything
+/// else; determinism holds per `(graph, index, build)` triple.
+pub fn serialize_with(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+) -> Result<Vec<u8>, StoreError> {
     let gv = graph.as_view();
     let iv = index.as_view();
     if gv.num_vertices() != iv.num_vertices() {
@@ -261,6 +301,10 @@ pub fn serialize(graph: &Graph, index: &HighwayCoverIndex) -> Result<Vec<u8>, St
     out[40..48].copy_from_slice(&(gv.num_edges() as u64).to_le_bytes());
     out[48..56].copy_from_slice(&(iv.num_landmarks() as u64).to_le_bytes());
     out[56..64].copy_from_slice(&(iv.label_hubs().len() as u64).to_le_bytes());
+    out[BUILD_META_OFFSET..BUILD_META_OFFSET + 4].copy_from_slice(&build.threads.to_le_bytes());
+    out[BUILD_META_OFFSET + 4..BUILD_META_OFFSET + 8]
+        .copy_from_slice(&build.batch_size.to_le_bytes());
+    // Bytes 72..80 stay zero: reserved build metadata.
     let crc = file_checksum(&out);
     out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&crc.to_le_bytes());
     Ok(out)
@@ -357,6 +401,12 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         num_edges: u64_le(bytes, 40),
         num_landmarks: u64_le(bytes, 48),
         label_entries: u64_le(bytes, 56),
+        build: BuildInfo {
+            threads: u32_le(bytes, BUILD_META_OFFSET),
+            batch_size: u32_le(bytes, BUILD_META_OFFSET + 4),
+        },
+        // The reserved bytes at 72..80 are deliberately not validated:
+        // a future writer may use them without breaking this reader.
     };
 
     let mut ranges: [Option<Range<usize>>; NUM_SECTIONS] = Default::default();

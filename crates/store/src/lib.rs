@@ -45,7 +45,8 @@ mod format;
 pub use checksum::crc64;
 pub use error::StoreError;
 pub use format::{
-    rewrite_checksum, serialize, SectionInfo, StoreMeta, FORMAT_VERSION, HEADER_LEN, MAGIC,
+    rewrite_checksum, serialize, serialize_with, BuildInfo, SectionInfo, StoreMeta, FORMAT_VERSION,
+    HEADER_LEN, MAGIC,
 };
 
 use backing::{cast_u32s, cast_u64s, AlignedBuf, Backing};
@@ -55,20 +56,32 @@ use hcl_index::{HighwayCoverIndex, IndexView};
 use std::fs::File;
 use std::path::Path;
 
-/// Serialises `graph` and `index` and writes them to `path` atomically:
-/// the bytes go to a temporary sibling file which is then renamed over the
-/// target, so a concurrent reader either sees the old complete container or
-/// the new one — never a truncated half-write, and a process already
-/// serving the old file via mmap keeps its mapping (the old inode stays
-/// alive until unmapped) instead of faulting on truncated pages.
-/// Returns the number of bytes written.
+/// Serialises `graph` and `index` and writes them to `path` atomically,
+/// leaving the header's build-metadata bytes unrecorded; see [`save_with`].
 pub fn save(
     path: impl AsRef<Path>,
     graph: &Graph,
     index: &HighwayCoverIndex,
 ) -> Result<u64, StoreError> {
+    save_with(path, graph, index, BuildInfo::default())
+}
+
+/// Serialises `graph` and `index` — recording `build` (builder threads and
+/// landmark batch size) in the container header — and writes them to
+/// `path` atomically: the bytes go to a temporary sibling file which is
+/// then renamed over the target, so a concurrent reader either sees the
+/// old complete container or the new one — never a truncated half-write,
+/// and a process already serving the old file via mmap keeps its mapping
+/// (the old inode stays alive until unmapped) instead of faulting on
+/// truncated pages. Returns the number of bytes written.
+pub fn save_with(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+) -> Result<u64, StoreError> {
     let path = path.as_ref();
-    let bytes = serialize(graph, index)?;
+    let bytes = serialize_with(graph, index, build)?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);

@@ -3,7 +3,7 @@
 
 use hcl_core::{testkit, CsrError};
 use hcl_index::{HighwayCoverIndex, IndexConfig};
-use hcl_store::{IndexStore, StoreError};
+use hcl_store::{IndexStore, StoreError, HEADER_LEN};
 
 fn sample_bytes() -> Vec<u8> {
     let g = testkit::barabasi_albert(80, 3, 4);
@@ -93,7 +93,7 @@ fn checksum_fixed_but_sections_broken_is_corrupt() {
 
     // Misalign a section offset.
     let mut bytes = clean.clone();
-    let entry = 64 + 8; // first section's offset field
+    let entry = HEADER_LEN + 8; // first section's offset field
     let off = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap());
     bytes[entry..entry + 8].copy_from_slice(&(off + 4).to_le_bytes());
     hcl_store::rewrite_checksum(&mut bytes);
@@ -113,7 +113,7 @@ fn checksum_fixed_but_sections_broken_is_corrupt() {
 
     // Duplicate section kind.
     let mut bytes = clean.clone();
-    bytes[64..68].copy_from_slice(&2u32.to_le_bytes()); // kind 1 -> 2
+    bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&2u32.to_le_bytes()); // kind 1 -> 2
     hcl_store::rewrite_checksum(&mut bytes);
     assert!(matches!(
         IndexStore::from_bytes(&bytes).unwrap_err(),

@@ -126,6 +126,8 @@ fn serialization_is_deterministic_and_meta_is_accurate() {
     assert_eq!(meta.num_edges, g.num_edges() as u64);
     assert_eq!(meta.num_landmarks, 8);
     assert_eq!(meta.label_entries, idx.stats().total_label_entries as u64);
+    // Plain serialize leaves the build metadata unrecorded.
+    assert_eq!(meta.build, hcl_store::BuildInfo::default());
     assert_eq!(store.len_bytes(), a.len() as u64);
 
     // Sections cover the advertised element counts.
@@ -134,6 +136,40 @@ fn serialization_is_deterministic_and_meta_is_accurate() {
     let offsets = sections.iter().find(|s| s.name == "graph_offsets").unwrap();
     assert_eq!(offsets.len_bytes, (150 + 1) * 8);
     assert!(sections.iter().all(|s| s.offset % 8 == 0));
+}
+
+#[test]
+fn build_metadata_round_trips_through_the_header() {
+    let g = testkit::barabasi_albert(120, 3, 21);
+    let info = hcl_store::BuildInfo {
+        threads: 4,
+        batch_size: 8,
+    };
+    // Build with the recorded parameters so the header tells the truth.
+    let idx = HighwayCoverIndex::build_with(
+        &g,
+        &hcl_index::BuildOptions {
+            num_landmarks: 8,
+            threads: info.threads as usize,
+            batch_size: info.batch_size as usize,
+        },
+    );
+
+    let path = temp_path("buildinfo");
+    hcl_store::save_with(&path, &g, &idx, info).expect("save_with");
+    let store = IndexStore::open(&path).expect("open");
+    assert_eq!(store.meta().build, info);
+    assert_store_matches_owned("buildinfo", &g, &idx, &store);
+    drop(store);
+    std::fs::remove_file(&path).ok();
+
+    // The build metadata is covered by the checksum but must not affect
+    // the served sections: two files differing only in build info serve
+    // identical section bytes.
+    let a = hcl_store::serialize_with(&g, &idx, info).unwrap();
+    let b = hcl_store::serialize(&g, &idx).unwrap();
+    assert_ne!(a, b, "build metadata must be recorded in the header");
+    assert_eq!(a[hcl_store::HEADER_LEN..], b[hcl_store::HEADER_LEN..]);
 }
 
 #[test]
