@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! hcl build <graph.edges> [--out FILE.hcl] [--landmarks K]
-//! hcl query (--index FILE.hcl | <graph.edges> [--landmarks K])
-//!           [--queries FILE | --random N] [--seed S] [--verify]
-//! hcl serve (--index FILE.hcl | <graph.edges> [--landmarks K])
+//! hcl query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K])
+//!           [--queries FILE | --random N] [--seed S] [--workers W] [--verify]
+//! hcl serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K])
+//!           [--workers W]
 //! hcl inspect <FILE.hcl>
 //! ```
 //!
@@ -14,7 +15,11 @@
 //! versioned, checksummed `.hcl` container. `query --index` and `serve
 //! --index` memory-map that container and answer queries with **no
 //! rebuild and no deserialisation** — the serving path the paper's scheme
-//! exists for. `inspect` dumps header metadata and the section table.
+//! exists for; `--trusted` skips the whole-file checksum pass for files a
+//! trusted pipeline stage just wrote, and `--workers` fans the workload
+//! out over a thread pool sharing the single mapped index (output stays
+//! byte-identical to the sequential path — see the `pool` module).
+//! `inspect` dumps header metadata and the section table.
 //!
 //! Invoking `hcl <graph.edges> …` without a subcommand keeps the original
 //! build-in-memory-and-query behaviour for compatibility.
@@ -23,6 +28,8 @@
 //! stdout; timing and index statistics go to stderr so stdout stays
 //! machine-readable. `--verify` re-checks every answer against the BFS
 //! oracle, regardless of backing.
+
+mod pool;
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
 use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext};
@@ -42,18 +49,27 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            all available cores); the output is byte-identical at every\n\
            thread count. --batch sets landmarks per batch (advanced;\n\
            changes the labelling shape, not its exactness).\n\
-       query (--index FILE.hcl | <graph.edges> [--landmarks K] [--threads T])\n\
-             [--queries FILE | --random N] [--seed S] [--verify]\n\
+       query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
+             [--threads T]) [--queries FILE | --random N] [--seed S]\n\
+             [--workers W] [--verify]\n\
            Answer `u v` distance queries. With --index the saved container\n\
-           is memory-mapped and served zero-copy — no rebuild. Queries come\n\
-           from --queries, --random, or stdin; answers are `u v d` lines\n\
-           (`inf` when disconnected). Out-of-range ids are reported with\n\
-           their source line and skipped. --verify re-checks against a BFS\n\
-           oracle.\n\
-       serve (--index FILE.hcl | <graph.edges> [--landmarks K] [--threads T])\n\
-           Interactive serving: read `u v` per line on stdin, answer\n\
-           immediately (line-buffered). Bad lines are reported and skipped;\n\
-           a closed stdout (e.g. `| head`) is a clean shutdown.\n\
+           is memory-mapped and served zero-copy — no rebuild; --trusted\n\
+           additionally skips the whole-file checksum pass (for files this\n\
+           pipeline just wrote). Queries come from --queries, --random, or\n\
+           stdin; answers are `u v d` lines (`inf` when disconnected), in\n\
+           input order regardless of --workers. Out-of-range ids are\n\
+           reported with their source line and skipped. --workers W\n\
+           answers the workload on W threads sharing one index (0 = all\n\
+           cores). --verify re-checks against a BFS oracle.\n\
+       serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
+             [--threads T]) [--workers W]\n\
+           Serving loop: read `u v` per line on stdin. With --workers 1\n\
+           (default) answers are flushed per line; --workers W > 1 runs a\n\
+           thread pool over the shared index, reading stdin in chunks and\n\
+           writing answers in input order (byte-identical to --workers 1,\n\
+           flushed per chunk — a throughput mode; 0 = all cores). Bad\n\
+           lines are reported and skipped; a closed stdout (e.g. `| head`)\n\
+           is a clean shutdown.\n\
        inspect <FILE.hcl>\n\
            Print header metadata, build statistics, and the section table.\n\
      \n\
@@ -105,7 +121,7 @@ fn parse_pairs_numbered(
 }
 
 /// Parses one line; `Ok(None)` for blanks and comments.
-fn parse_pair_line(
+pub(crate) fn parse_pair_line(
     line: &str,
     what: &str,
     lineno: usize,
@@ -169,6 +185,17 @@ fn resolve_build_threads(explicit: Option<usize>) -> usize {
     })
 }
 
+/// Serving worker count: `--workers 0` means every available core;
+/// absent means 1 (the sequential path). Never changes any answer or any
+/// output byte, only throughput.
+fn resolve_workers(explicit: Option<usize>) -> usize {
+    match explicit {
+        Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(w) => w,
+        None => 1,
+    }
+}
+
 /// Result of writing one answer line to stdout.
 enum AnswerSink {
     /// Written (and flushed, where the caller asked for it).
@@ -188,16 +215,43 @@ fn write_answer(
     d: Option<u32>,
     flush: bool,
 ) -> Result<AnswerSink, String> {
-    let res = match d {
-        Some(d) => writeln!(out, "{u} {v} {d}"),
-        None => writeln!(out, "{u} {v} inf"),
-    }
-    .and_then(|()| if flush { out.flush() } else { Ok(()) });
+    // One formatter for every path — the pool's byte-identity guarantee
+    // rests on sequential and pooled serving sharing it.
+    let mut line = String::new();
+    pool::push_answer_line(&mut line, u, v, d);
+    let res = out
+        .write_all(line.as_bytes())
+        .and_then(|()| if flush { out.flush() } else { Ok(()) });
     match res {
         Ok(()) => Ok(AnswerSink::Written),
         Err(e) if e.kind() == ErrorKind::BrokenPipe => Ok(AnswerSink::Closed),
         Err(e) => Err(format!("writing output: {e}")),
     }
+}
+
+/// Parses and range-checks one serve-loop input line; `None` for blanks,
+/// comments, and diagnosed-and-skipped bad lines (the serve contract:
+/// report to stderr, keep serving). Shared by the sequential loop and the
+/// worker pool's reader so diagnostics stay identical across `--workers`
+/// counts.
+pub(crate) fn validate_serve_pair(
+    line: &str,
+    lineno: usize,
+    n: usize,
+) -> Option<(VertexId, VertexId)> {
+    let (u, v) = match parse_pair_line(line, "stdin", lineno) {
+        Ok(Some(pair)) => pair,
+        Ok(None) => return None,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return None;
+        }
+    };
+    if u as usize >= n || v as usize >= n {
+        eprintln!("error: stdin:{lineno}: query ({u}, {v}) out of range (n = {n}); skipped");
+        return None;
+    }
+    Some((u, v))
 }
 
 /// Where the graph + index come from: built in memory from an edge list, or
@@ -219,28 +273,40 @@ impl Source {
     }
 
     /// Loads and reports to stderr: either build-from-edge-list or
-    /// mmap-from-container.
+    /// mmap-from-container. `trusted` skips the container's whole-file
+    /// checksum pass (structural and semantic validation still run).
     fn prepare(
         index_path: Option<&str>,
         graph_path: Option<&str>,
         num_landmarks: usize,
         threads: usize,
+        trusted: bool,
     ) -> Result<Self, String> {
         match (index_path, graph_path) {
             (Some(path), None) => {
                 let t0 = Instant::now();
-                let store = IndexStore::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+                let store = if trusted {
+                    IndexStore::open_trusted(path)
+                } else {
+                    IndexStore::open(path)
+                }
+                .map_err(|e| format!("opening {path}: {e}"))?;
                 let load_time = t0.elapsed();
                 let meta = store.meta();
                 eprintln!(
                     "index file: {} vertices, {} edges, {} landmarks, {} label entries \
-                     ({:.1} KiB file, {} backing, loaded+validated in {:.1?}, no rebuild)",
+                     ({:.1} KiB file, {} backing, loaded+{} in {:.1?}, no rebuild)",
                     meta.num_vertices,
                     meta.num_edges,
                     meta.num_landmarks,
                     meta.label_entries,
                     store.len_bytes() as f64 / 1024.0,
                     store.backing_kind(),
+                    if trusted {
+                        "trusted (checksum skipped)"
+                    } else {
+                        "validated"
+                    },
                     load_time
                 );
                 Ok(Source::Stored(store))
@@ -386,6 +452,10 @@ struct QueryOptions {
     random_queries: Option<usize>,
     seed: u64,
     verify: bool,
+    /// Query-pool worker threads (`--workers`); `Some(0)` = all cores.
+    workers: Option<usize>,
+    /// Skip the container checksum pass (`--trusted`; `--index` only).
+    trusted: bool,
 }
 
 fn parse_query_args(args: Vec<String>) -> QueryOptions {
@@ -398,6 +468,8 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         random_queries: None,
         seed: 0xC0FFEE,
         verify: false,
+        workers: None,
+        trusted: false,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -424,6 +496,13 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
             }
             "--seed" => opts.seed = parse_or_usage(next_value(&mut args, "--seed"), "--seed"),
             "--verify" => opts.verify = true,
+            "--workers" | "-w" => {
+                opts.workers = Some(parse_or_usage(
+                    next_value(&mut args, "--workers"),
+                    "--workers",
+                ))
+            }
+            "--trusted" => opts.trusted = true,
             "--help" | "-h" => help(),
             _ if opts.graph_path.is_none() && !arg.starts_with('-') => opts.graph_path = Some(arg),
             _ => {
@@ -438,6 +517,10 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
     }
     if opts.index_path.is_some() && (opts.num_landmarks.is_some() || opts.threads.is_some()) {
         eprintln!("error: --landmarks/--threads only apply when building from an edge list");
+        usage();
+    }
+    if opts.trusted && opts.index_path.is_none() {
+        eprintln!("error: --trusted only applies when serving from --index");
         usage();
     }
     opts
@@ -494,6 +577,7 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
         opts.graph_path.as_deref(),
         opts.num_landmarks.unwrap_or(16),
         resolve_build_threads(opts.threads),
+        opts.trusted,
     )?;
     let (graph, index) = source.views();
 
@@ -516,12 +600,11 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let mut ctx = QueryContext::new();
+    // One reused context per worker (a single context when sequential):
+    // per-call allocation would dominate µs-scale queries.
+    let workers = resolve_workers(opts.workers);
     let t2 = Instant::now();
-    let mut answers = Vec::with_capacity(queries.len());
-    for &(u, v) in &queries {
-        answers.push(index.query_with(graph, &mut ctx, u, v));
-    }
+    let answers = pool::answer_batch(graph, index, &queries, workers);
     let query_time = t2.elapsed();
 
     for (&(u, v), &d) in queries.iter().zip(&answers) {
@@ -538,7 +621,7 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
 
     if !queries.is_empty() {
         eprintln!(
-            "queries: {} answered in {:.1?} ({:.2} µs/query)",
+            "queries: {} answered in {:.1?} ({:.2} µs/query, {workers} worker(s))",
             queries.len(),
             query_time,
             query_time.as_secs_f64() * 1e6 / queries.len() as f64
@@ -574,6 +657,8 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut graph_path: Option<String> = None;
     let mut num_landmarks: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut trusted = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -590,6 +675,13 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                     "--threads",
                 ))
             }
+            "--workers" | "-w" => {
+                workers = Some(parse_or_usage(
+                    next_value(&mut args, "--workers"),
+                    "--workers",
+                ))
+            }
+            "--trusted" => trusted = true,
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -602,16 +694,48 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         eprintln!("error: --landmarks/--threads only apply when building from an edge list");
         usage();
     }
+    if trusted && index_path.is_none() {
+        eprintln!("error: --trusted only applies when serving from --index");
+        usage();
+    }
     let source = Source::prepare(
         index_path.as_deref(),
         graph_path.as_deref(),
         num_landmarks.unwrap_or(16),
         resolve_build_threads(threads),
+        trusted,
     )?;
     let (graph, index) = source.views();
     let n = graph.num_vertices();
+    let workers = resolve_workers(workers);
 
     let stdin = std::io::stdin();
+    if workers > 1 {
+        // Pooled throughput mode: the reader thread chunks stdin, workers
+        // share the index view with a private context each, and a
+        // sequence-numbered reorder buffer keeps stdout byte-identical to
+        // the sequential path.
+        if stdin.is_terminal() {
+            eprintln!(
+                "serving with {workers} workers: one `u v` pair per line, answers flushed per \
+                 chunk of {}, Ctrl-D to finish",
+                pool::CHUNK
+            );
+        }
+        let t0 = Instant::now();
+        let summary = pool::serve_pooled(graph, index, workers, stdin.lock(), std::io::stdout())?;
+        if summary.closed {
+            eprintln!("stdout closed by reader; shutting down");
+        }
+        if summary.served > 0 {
+            eprintln!(
+                "served {} queries in {:.1?} with {workers} workers",
+                summary.served,
+                t0.elapsed()
+            );
+        }
+        return Ok(());
+    }
     if stdin.is_terminal() {
         eprintln!("serving: one `u v` pair per line, answers flushed per line, Ctrl-D to finish");
     }
@@ -622,23 +746,9 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let t0 = Instant::now();
     for (lineno, line) in stdin.lock().lines().enumerate() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        let pair = match parse_pair_line(&line, "stdin", lineno + 1) {
-            Ok(Some(pair)) => pair,
-            Ok(None) => continue,
-            Err(msg) => {
-                // A serving loop skips bad input instead of dying on it.
-                eprintln!("error: {msg}");
-                continue;
-            }
-        };
-        let (u, v) = pair;
-        if u as usize >= n || v as usize >= n {
-            eprintln!(
-                "error: stdin:{}: query ({u}, {v}) out of range (n = {n}); skipped",
-                lineno + 1
-            );
+        let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n) else {
             continue;
-        }
+        };
         let answer = index.query_with(graph, &mut ctx, u, v);
         if let AnswerSink::Closed = write_answer(&mut out, u, v, answer, true)? {
             // The reader went away (e.g. `hcl serve … | head`): that ends

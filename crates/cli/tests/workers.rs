@@ -1,0 +1,196 @@
+//! Property tests for the serving worker pool: for every testkit graph
+//! family, `serve --workers {1, 2, 4, 8}` must produce **byte-identical**
+//! stdout (and identical per-line diagnostics) for the same stdin — the
+//! reorder buffer's ordering guarantee — and `query --workers` must agree
+//! with the sequential batch path. Workloads are sized past one pool
+//! chunk so the reorder machinery actually reorders.
+
+use hcl_core::{testkit, Graph, GraphBuilder};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn hcl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcl"))
+}
+
+/// The same eleven families the store round-trip suite uses.
+fn families() -> Vec<(String, Graph)> {
+    let mut isolated = GraphBuilder::new();
+    isolated.add_edge(0, 1).add_edge(1, 2).reserve_vertices(7);
+    vec![
+        ("empty".into(), GraphBuilder::new().build()),
+        ("single".into(), testkit::path(1)),
+        ("path(13)".into(), testkit::path(13)),
+        ("cycle(9)".into(), testkit::cycle(9)),
+        ("star(17)".into(), testkit::star(17)),
+        ("grid(4x5)".into(), testkit::grid(4, 5)),
+        ("er(40,0.08)".into(), testkit::erdos_renyi(40, 0.08, 3)),
+        ("er(40,0.02)".into(), testkit::erdos_renyi(40, 0.02, 1)),
+        ("ba(60,3)".into(), testkit::barabasi_albert(60, 3, 7)),
+        (
+            "grid⊎cycle".into(),
+            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
+        ),
+        ("path+isolated".into(), isolated.build()),
+    ]
+}
+
+/// Writes `g` as a `u v` edge list the CLI can rebuild. (Trailing isolated
+/// vertices are not representable in an edge list; queries against them
+/// simply exercise the out-of-range diagnostics, identically across
+/// worker counts.)
+fn edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for u in 0..g.num_vertices() as u32 {
+        for &w in g.as_view().neighbors(u) {
+            if w > u {
+                out.push_str(&format!("{u} {w}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// A deterministic stdin workload: mostly valid pairs, salted with
+/// out-of-range ids, comments, and blanks — plus malformed lines when
+/// `malformed` is set (`serve` skips them; batch `query` treats them as
+/// fatal, so its workload stays clean). Sized well past one pool chunk
+/// (256) so multi-worker runs genuinely reorder.
+fn workload(n: usize, seed: u64, malformed: bool) -> String {
+    let mut rng = testkit::SplitMix64::new(seed);
+    let mut out = String::from("# workers property workload\n");
+    let space = (n.max(1) + 3) as u64; // a few ids past n → out-of-range
+    for i in 0..700 {
+        match i % 97 {
+            13 => out.push('\n'),
+            29 => out.push_str("% comment line\n"),
+            61 if malformed => out.push_str("not a pair\n"),
+            _ => {
+                let u = rng.next_below(space);
+                let v = rng.next_below(space);
+                out.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hcl_workers_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&p).expect("create scratch dir");
+        Self(p)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run_with_stdin(cmd: &mut Command, stdin: &str) -> Output {
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hcl");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    assert!(
+        out.status.success(),
+        "command failed: {cmd:?}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn serve_output_is_byte_identical_across_worker_counts() {
+    let scratch = Scratch::new("serve");
+    for (name, g) in families() {
+        let slug = name.replace(['(', ')', ',', '.', '⊎', '+'], "_");
+        let edges = scratch.0.join(format!("{slug}.edges"));
+        std::fs::write(&edges, edge_list(&g)).expect("write edges");
+        let index = scratch.0.join(format!("{slug}.hcl"));
+        let build = hcl()
+            .arg("build")
+            .arg(&edges)
+            .arg("--out")
+            .arg(&index)
+            .args(["--landmarks", "4"])
+            .output()
+            .expect("spawn build");
+        assert!(
+            build.status.success(),
+            "{name}: build failed: {}",
+            String::from_utf8_lossy(&build.stderr)
+        );
+
+        let input = workload(g.num_vertices(), 0xBEEF ^ g.num_vertices() as u64, true);
+        let reference = run_with_stdin(hcl().arg("serve").arg("--index").arg(&index), &input);
+        for workers in [2usize, 4, 8] {
+            let pooled = run_with_stdin(
+                hcl().arg("serve").arg("--index").arg(&index).args([
+                    "--workers",
+                    &workers.to_string(),
+                    "--trusted",
+                ]),
+                &input,
+            );
+            assert_eq!(
+                pooled.stdout, reference.stdout,
+                "{name}: serve --workers {workers} stdout diverged from --workers 1"
+            );
+            // Per-line diagnostics are emitted by the reading thread, so
+            // they too must match the sequential run exactly.
+            let diag = |out: &Output| -> Vec<String> {
+                String::from_utf8_lossy(&out.stderr)
+                    .lines()
+                    .filter(|l| l.starts_with("error:"))
+                    .map(str::to_owned)
+                    .collect()
+            };
+            assert_eq!(
+                diag(&pooled),
+                diag(&reference),
+                "{name}: serve --workers {workers} diagnostics diverged"
+            );
+        }
+
+        // The batch query path must agree with serve and with itself
+        // across worker counts (on a clean workload — batch query treats
+        // malformed lines as fatal by design).
+        let clean = workload(g.num_vertices(), 0xBEEF ^ g.num_vertices() as u64, false);
+        let serve_clean = run_with_stdin(hcl().arg("serve").arg("--index").arg(&index), &clean);
+        let q1 = run_with_stdin(hcl().arg("query").arg("--index").arg(&index), &clean);
+        assert_eq!(
+            q1.stdout, serve_clean.stdout,
+            "{name}: query and serve answers diverged"
+        );
+        for workers in [2usize, 8] {
+            let qn = run_with_stdin(
+                hcl()
+                    .arg("query")
+                    .arg("--index")
+                    .arg(&index)
+                    .args(["--workers", &workers.to_string()]),
+                &clean,
+            );
+            assert_eq!(
+                qn.stdout, q1.stdout,
+                "{name}: query --workers {workers} diverged"
+            );
+        }
+    }
+}

@@ -16,11 +16,16 @@
 //! * [`testkit`] — deterministic, seeded synthetic graph generators (paths,
 //!   cycles, stars, grids, Erdős–Rényi, Barabási–Albert) so every crate in
 //!   the workspace can write reproducible property tests.
+//! * [`bitset::DenseBitSet`] — a dense membership bitset for hot-path
+//!   "is this vertex in the small special set?" probes (one bit per
+//!   vertex instead of a 4-byte table load).
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bfs;
+pub mod bitset;
 pub mod graph;
 pub mod testkit;
 
+pub use bitset::DenseBitSet;
 pub use graph::{CsrError, Graph, GraphBuilder, GraphView, VertexId, INFINITY};

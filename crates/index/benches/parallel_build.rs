@@ -34,11 +34,8 @@ fn fingerprint(idx: &HighwayCoverIndex) -> u64 {
     for &x in v.label_offsets() {
         mix(x);
     }
-    for &x in v.label_hubs() {
-        mix(x as u64);
-    }
-    for &x in v.label_dists() {
-        mix(x as u64);
+    for &x in v.label_entries() {
+        mix(x);
     }
     for &x in v.highway() {
         mix(x as u64);

@@ -209,12 +209,12 @@ pub struct HighwayCoverIndex {
     /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`]; length is the
     /// vertex count of the build graph.
     pub(crate) landmark_rank: Vec<u32>,
-    /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
+    /// CSR offsets into `label_entries`; length `n + 1`.
     pub(crate) label_offsets: Vec<u64>,
-    /// Hub (landmark rank) per label entry, ascending within each vertex.
-    pub(crate) label_hubs: Vec<u32>,
-    /// Distance to the hub per label entry.
-    pub(crate) label_dists: Vec<u32>,
+    /// Packed `(hub << 32) | dist` label entries
+    /// ([`pack_label_entry`](crate::pack_label_entry)), hub-ascending
+    /// within each vertex.
+    pub(crate) label_entries: Vec<u64>,
     /// Row-major `k × k` landmark-to-landmark distances, closed under
     /// shortest paths (Floyd–Warshall), [`INFINITY`](hcl_core::INFINITY)
     /// when disconnected.
@@ -290,8 +290,7 @@ impl HighwayCoverIndex {
             landmarks: &self.landmarks,
             landmark_rank: &self.landmark_rank,
             label_offsets: &self.label_offsets,
-            label_hubs: &self.label_hubs,
-            label_dists: &self.label_dists,
+            label_entries: &self.label_entries,
             highway: &self.highway,
         }
     }

@@ -117,27 +117,25 @@ impl BuildState {
             }
         }
 
-        // Flatten labels CSR-style.
+        // Flatten labels CSR-style into the packed single-array layout the
+        // query hot path (and the v3 store section) consumes directly.
         let n = labels.len();
         let mut label_offsets = Vec::with_capacity(n + 1);
         label_offsets.push(0);
         let total: usize = labels.iter().map(Vec::len).sum();
-        let mut label_hubs = Vec::with_capacity(total);
-        let mut label_dists = Vec::with_capacity(total);
+        let mut label_entries = Vec::with_capacity(total);
         for per_vertex in &labels {
             for &(hub, d) in per_vertex {
-                label_hubs.push(hub);
-                label_dists.push(d);
+                label_entries.push(crate::view::pack_label_entry(hub, d));
             }
-            label_offsets.push(label_hubs.len() as u64);
+            label_offsets.push(label_entries.len() as u64);
         }
 
         HighwayCoverIndex {
             landmarks,
             landmark_rank,
             label_offsets,
-            label_hubs,
-            label_dists,
+            label_entries,
             highway,
         }
     }

@@ -27,10 +27,12 @@
 //! Storage comes in two backings sharing one query engine:
 //!
 //! * [`HighwayCoverIndex`] — owned `Vec`s, produced by a build;
-//! * [`IndexView`] — six borrowed slices over the identical flat layout,
-//!   which is what `hcl-store` serves straight out of a memory-mapped file.
-//!   Untrusted slices are admitted through [`IndexView::from_parts`], which
-//!   validates every invariant the engine indexes by.
+//! * [`IndexView`] — five borrowed slices over the identical flat layout
+//!   (label entries are packed `(hub << 32) | dist` words — see
+//!   [`pack_label_entry`]), which is what `hcl-store` serves straight out
+//!   of a memory-mapped file. Untrusted slices are admitted through
+//!   [`IndexView::from_parts`], which validates every invariant the engine
+//!   indexes by.
 //!
 //! Every query result is exact; the test suite property-checks the engine
 //! against the plain BFS oracle from `hcl-core` over multiple graph
@@ -44,4 +46,4 @@ mod view;
 
 pub use build::{BuildContext, BuildOptions, HighwayCoverIndex, IndexConfig, IndexStats};
 pub use query::QueryContext;
-pub use view::{IndexDataError, IndexView};
+pub use view::{pack_label_entry, unpack_label_entry, IndexDataError, IndexView};

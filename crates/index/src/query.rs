@@ -6,22 +6,42 @@
 //! [`HighwayCoverIndex`] and a memory-mapped `hcl-store` file. The owned
 //! type's query methods are thin delegations through
 //! [`HighwayCoverIndex::as_view`].
+//!
+//! # Hot-path layout
+//!
+//! Labels are packed `(hub << 32) | dist` words walked as **one** array
+//! stream per endpoint (no parallel hub/dist pointers). The common-hub
+//! join switches from a linear merge to a **galloping merge** when the two
+//! labels are badly skewed — on power-law graphs a hub vertex can carry a
+//! label orders of magnitude longer than a leaf's, and galloping makes the
+//! join `O(small · log large)` instead of `O(small + large)`. The highway
+//! cross-product runs behind hoisted lower-bound checks (`d1 + min_dv`,
+//! `d1 + d2`) so rows that cannot beat the current best never touch the
+//! matrix, and the residual BFS tests landmark membership against a dense
+//! bitset — one bit per vertex instead of a 4-byte rank-table load.
 
-use crate::build::{HighwayCoverIndex, NOT_A_LANDMARK};
-use crate::view::IndexView;
-use hcl_core::{Graph, GraphView, VertexId, INFINITY};
+use crate::build::HighwayCoverIndex;
+use crate::view::{entry_dist, entry_hub, IndexView};
+use hcl_core::{DenseBitSet, Graph, GraphView, VertexId, INFINITY};
 
 const INF64: u64 = u64::MAX;
 
+/// When one label is at least this many times longer than the other, the
+/// common-hub join gallops through the long label instead of scanning it.
+const GALLOP_RATIO: usize = 8;
+
 /// Reusable scratch space for queries.
 ///
-/// A query needs two distance arrays and a few frontier vectors; allocating
-/// them per call would dominate the cost of cheap queries. Create one
-/// context per thread (or per serving task) and pass it to
-/// [`IndexView::query_with`]. All buffers are reset between queries via
-/// touched-lists, so reuse is `O(visited)`, not `O(n)`. One context can be
-/// shared across different indexes and backings; buffers grow to the
-/// largest graph seen.
+/// A query needs two distance arrays, a few frontier vectors, and a dense
+/// landmark-membership bitset; allocating them per call would dominate the
+/// cost of cheap queries. Create one context per thread (or per serving
+/// task) and pass it to [`IndexView::query_with`]. All buffers are reset
+/// between queries via touched-lists, so reuse is `O(visited)`, not
+/// `O(n)`. One context can be shared across different indexes and
+/// backings; buffers grow to the largest graph seen, and the landmark
+/// bitset is rebuilt automatically whenever the context notices it is
+/// serving a different landmark set (an `O(k)` comparison per query, an
+/// `O(n / 64 + k)` rebuild only on an actual switch).
 #[derive(Default)]
 pub struct QueryContext {
     dist_fwd: Vec<u32>,
@@ -30,6 +50,11 @@ pub struct QueryContext {
     frontier_fwd: Vec<VertexId>,
     frontier_bwd: Vec<VertexId>,
     next: Vec<VertexId>,
+    /// Dense landmark membership for the residual BFS, keyed by the
+    /// `(vertex count, landmark list)` it was built from.
+    landmark_bits: DenseBitSet,
+    landmark_key: Vec<VertexId>,
+    landmark_key_n: usize,
 }
 
 impl QueryContext {
@@ -44,14 +69,39 @@ impl QueryContext {
             self.dist_bwd.resize(n, INFINITY);
         }
     }
+
+    /// Makes `landmark_bits` describe exactly `view`'s landmark set.
+    ///
+    /// The cache key is the landmark list *by value* (plus the vertex
+    /// count), so the check stays sound when a context hops between
+    /// indexes, backings, or reallocated owned indexes — there is no
+    /// pointer identity to go stale.
+    fn ensure_landmark_bits(&mut self, view: &IndexView<'_>) {
+        let n = view.num_vertices();
+        if self.landmark_key_n == n && self.landmark_key == view.landmarks {
+            return;
+        }
+        self.landmark_bits.reset(n);
+        for &v in view.landmarks {
+            self.landmark_bits.insert(v as usize);
+        }
+        self.landmark_key.clear();
+        self.landmark_key.extend_from_slice(view.landmarks);
+        self.landmark_key_n = n;
+    }
 }
 
 impl HighwayCoverIndex {
     /// Exact distance between `u` and `v`, or `None` if disconnected.
     ///
-    /// Convenience wrapper that allocates a fresh [`QueryContext`]; batch
-    /// callers should hold a context and use
-    /// [`query_with`](Self::query_with) instead.
+    /// Convenience wrapper that allocates a **fresh [`QueryContext`] on
+    /// every call** — six buffers plus the landmark bitset, which the
+    /// first query then has to grow to the graph size. On a µs-scale
+    /// query that allocation and warm-up is comparable to the query
+    /// itself, so anything issuing more than a handful of queries (batch
+    /// runs, serving loops, benchmarks) should hold one context per
+    /// thread and call [`query_with`](Self::query_with) instead; the CLI's
+    /// random-query, stdin, and worker-pool paths all do.
     ///
     /// # Panics
     /// Panics if `u` or `v` is out of range, or if `graph` has a different
@@ -84,9 +134,10 @@ impl<'a> IndexView<'a> {
     /// Evaluation is the paper's two-phase scheme:
     ///
     /// 1. An upper bound from the labelling: the classic sorted 2-hop merge
-    ///    over common hubs, tightened by routing between *different* hubs
-    ///    across the highway matrix. If any shortest `u`–`v` path touches a
-    ///    landmark, this bound is already exact.
+    ///    over common hubs (galloping when the labels are skewed),
+    ///    tightened by routing between *different* hubs across the highway
+    ///    matrix. If any shortest `u`–`v` path touches a landmark, this
+    ///    bound is already exact.
     /// 2. A bidirectional BFS that never expands through a landmark,
     ///    covering the only remaining case (a shortest path avoiding all
     ///    landmarks). The bound from phase 1 cuts the search off early.
@@ -137,7 +188,8 @@ impl<'a> IndexView<'a> {
             self.label_offsets[v as usize] as usize,
             self.label_offsets[v as usize + 1] as usize,
         );
-        let mut best = INF64;
+        let lu = &self.label_entries[u_lo..u_hi];
+        let lv = &self.label_entries[v_lo..v_hi];
 
         // All sums below run in u64 so `u32`-sized operands cannot wrap,
         // and INFINITY-valued operands are skipped outright: a label or
@@ -145,41 +197,53 @@ impl<'a> IndexView<'a> {
         // as a number would let a hostile (well-formed but tampered) index
         // manufacture near-overflow "distances".
 
-        // Fast path: sorted merge over common hubs (the classic 2-hop join).
-        let (mut i, mut j) = (u_lo, v_lo);
-        while i < u_hi && j < v_hi {
-            match self.label_hubs[i].cmp(&self.label_hubs[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    if self.label_dists[i] != INFINITY && self.label_dists[j] != INFINITY {
-                        let cand = self.label_dists[i] as u64 + self.label_dists[j] as u64;
-                        best = best.min(cand);
-                    }
-                    i += 1;
-                    j += 1;
-                }
-            }
+        // Fast path: merge over common hubs (the classic 2-hop join).
+        let mut best = common_hub_bound(lu, lv);
+
+        if lu.is_empty() || lv.is_empty() {
+            return best;
         }
 
-        // General case: route between distinct hubs over the highway.
+        // General case: route between distinct hubs over the highway,
+        // hoisted behind lower-bound checks. The cheapest conceivable
+        // highway route costs at least d1 + d2 (the matrix is
+        // non-negative), so precomputing v's minimum label distance lets
+        // whole rows — and often the whole cross-product — exit before a
+        // single matrix load.
+        let min_dv = lv
+            .iter()
+            .map(|&e| entry_dist(e))
+            .filter(|&d| d != INFINITY)
+            .min()
+            .map_or(INF64, |d| d as u64);
         let k = self.landmarks.len();
-        for i in u_lo..u_hi {
-            let (h1, d1) = (self.label_hubs[i] as usize, self.label_dists[i] as u64);
-            if d1 >= best || self.label_dists[i] == INFINITY {
+        for &eu in lu {
+            let (h1, d1u) = (entry_hub(eu) as usize, entry_dist(eu));
+            if d1u == INFINITY {
                 continue;
             }
-            for j in v_lo..v_hi {
-                let h2 = self.label_hubs[j] as usize;
-                if h1 == h2 {
-                    continue; // already handled by the merge above
+            let d1 = d1u as u64;
+            if d1.saturating_add(min_dv) >= best {
+                continue;
+            }
+            let row = &self.highway[h1 * k..(h1 + 1) * k];
+            for &ev in lv {
+                let (h2, d2u) = (entry_hub(ev) as usize, entry_dist(ev));
+                if h2 == h1 || d2u == INFINITY {
+                    continue; // same hub was handled by the merge above
                 }
-                let hw = self.highway[h1 * k + h2];
-                if hw == INFINITY || self.label_dists[j] == INFINITY {
+                let base = d1 + d2u as u64;
+                if base >= best {
                     continue;
                 }
-                let cand = d1 + hw as u64 + self.label_dists[j] as u64;
-                best = best.min(cand);
+                let hw = row[h2];
+                if hw == INFINITY {
+                    continue;
+                }
+                let cand = base + hw as u64;
+                if cand < best {
+                    best = cand;
+                }
             }
         }
         best
@@ -190,8 +254,9 @@ impl<'a> IndexView<'a> {
     ///
     /// Level-synchronous bidirectional BFS, always expanding the smaller
     /// frontier. Landmark vertices are never enqueued (endpoints are seeded
-    /// directly, so a landmark endpoint still works); meets are detected on
-    /// edge scans before the landmark check, so a direct edge into the other
+    /// directly, so a landmark endpoint still works); membership is tested
+    /// against the context's dense bitset. Meets are detected on edge
+    /// scans before the landmark check, so a direct edge into the other
     /// frontier is never missed. The search stops as soon as the two
     /// frontier depths certify that no undiscovered landmark-free path can
     /// beat the current best.
@@ -205,6 +270,7 @@ impl<'a> IndexView<'a> {
     ) -> u64 {
         let n = self.num_vertices();
         ctx.ensure_capacity(n);
+        ctx.ensure_landmark_bits(self);
         ctx.frontier_fwd.clear();
         ctx.frontier_bwd.clear();
 
@@ -218,6 +284,7 @@ impl<'a> IndexView<'a> {
         let mut best = bound;
         let mut depth_fwd: u64 = 0;
         let mut depth_bwd: u64 = 0;
+        let landmark_bits = &ctx.landmark_bits;
 
         while !ctx.frontier_fwd.is_empty()
             && !ctx.frontier_bwd.is_empty()
@@ -247,7 +314,7 @@ impl<'a> IndexView<'a> {
                     if other != INFINITY {
                         best = best.min(*depth + 1 + other as u64);
                     }
-                    if self.landmark_rank[w as usize] != NOT_A_LANDMARK {
+                    if landmark_bits.contains(w as usize) {
                         continue;
                     }
                     if dist_mine[w as usize] == INFINITY {
@@ -271,5 +338,169 @@ impl<'a> IndexView<'a> {
         }
         ctx.touched.clear();
         best
+    }
+}
+
+/// Minimum `dist(u, h) + dist(v, h)` over hubs `h` common to both labels;
+/// `u64::MAX` when the labels share no usable hub.
+///
+/// Chooses between a linear two-pointer merge and a galloping merge by the
+/// size ratio: on skewed pairs (leaf label vs. hub label) galloping turns
+/// the join from `O(small + large)` into `O(small · log large)`.
+fn common_hub_bound(lu: &[u64], lv: &[u64]) -> u64 {
+    let (small, large) = if lu.len() <= lv.len() {
+        (lu, lv)
+    } else {
+        (lv, lu)
+    };
+    if small.is_empty() {
+        return INF64;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        galloping_merge_bound(small, large)
+    } else {
+        linear_merge_bound(small, large)
+    }
+}
+
+fn linear_merge_bound(a: &[u64], b: &[u64]) -> u64 {
+    let mut best = INF64;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ha, hb) = (entry_hub(a[i]), entry_hub(b[j]));
+        match ha.cmp(&hb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (da, db) = (entry_dist(a[i]), entry_dist(b[j]));
+                if da != INFINITY && db != INFINITY {
+                    best = best.min(da as u64 + db as u64);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Merge for skewed sizes: for each entry of `small`, gallop (exponential
+/// then binary search) through the remaining suffix of `large`. Entries
+/// are hub-sorted, and hubs occupy the high 32 bits, so hub comparisons
+/// are plain `u64` comparisons on `entry & HUB_MASK`.
+fn galloping_merge_bound(small: &[u64], large: &[u64]) -> u64 {
+    const HUB_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+    let mut best = INF64;
+    let mut from = 0usize;
+    for &es in small {
+        let target = es & HUB_MASK;
+        // Exponential probe: find a window [from + step/2, from + step]
+        // whose upper end is at or past the target hub.
+        let mut step = 1usize;
+        while from + step < large.len() && large[from + step] & HUB_MASK < target {
+            step *= 2;
+        }
+        let lo = from + step / 2;
+        let hi = (from + step + 1).min(large.len());
+        // Binary search the window for the first entry at or past target.
+        let idx = lo + large[lo..hi].partition_point(|&e| e & HUB_MASK < target);
+        if idx >= large.len() {
+            break; // every remaining hub of `large` is smaller — done
+        }
+        let el = large[idx];
+        if el & HUB_MASK == target {
+            let (ds, dl) = (entry_dist(es), entry_dist(el));
+            if ds != INFINITY && dl != INFINITY {
+                best = best.min(ds as u64 + dl as u64);
+            }
+            from = idx + 1;
+        } else {
+            from = idx;
+        }
+        if from >= large.len() {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::pack_label_entry;
+
+    fn entries(pairs: &[(u32, u32)]) -> Vec<u64> {
+        pairs.iter().map(|&(h, d)| pack_label_entry(h, d)).collect()
+    }
+
+    /// Reference implementation: brute-force minimum over common hubs.
+    fn brute(a: &[u64], b: &[u64]) -> u64 {
+        let mut best = INF64;
+        for &ea in a {
+            for &eb in b {
+                if entry_hub(ea) == entry_hub(eb)
+                    && entry_dist(ea) != INFINITY
+                    && entry_dist(eb) != INFINITY
+                {
+                    best = best.min(entry_dist(ea) as u64 + entry_dist(eb) as u64);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn merges_agree_with_brute_force_on_generated_labels() {
+        let mut rng = hcl_core::testkit::SplitMix64::new(0xFACE);
+        for trial in 0..200 {
+            // Random strictly-ascending hub sets of very different sizes,
+            // so both the linear and galloping paths are exercised.
+            let mut make = |len: usize, hub_space: u64| {
+                let mut hubs: Vec<u32> =
+                    (0..len).map(|_| rng.next_below(hub_space) as u32).collect();
+                hubs.sort_unstable();
+                hubs.dedup();
+                entries(
+                    &hubs
+                        .into_iter()
+                        .map(|h| {
+                            let d = rng.next_below(50) as u32;
+                            // Sprinkle sentinel distances in, too.
+                            (h, if d == 49 { INFINITY } else { d })
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let a = make(trial % 7, 40);
+            let b = make(3 + (trial % 61), 40);
+            let expected = brute(&a, &b);
+            assert_eq!(common_hub_bound(&a, &b), expected, "trial {trial}");
+            assert_eq!(common_hub_bound(&b, &a), expected, "trial {trial} swapped");
+            assert_eq!(linear_merge_bound(&a, &b), expected, "trial {trial} linear");
+            if !a.is_empty() {
+                assert_eq!(
+                    galloping_merge_bound(&a, &b),
+                    expected,
+                    "trial {trial} gallop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_handles_boundary_shapes() {
+        let empty: &[u64] = &[];
+        let one = entries(&[(5, 2)]);
+        let many = entries(&[(0, 1), (2, 9), (5, 3), (9, 0), (31, 7)]);
+        assert_eq!(common_hub_bound(empty, &many), INF64);
+        assert_eq!(common_hub_bound(&one, empty), INF64);
+        assert_eq!(galloping_merge_bound(&one, &many), 5);
+        // Target hub past the end of `large`.
+        let high = entries(&[(40, 1)]);
+        assert_eq!(galloping_merge_bound(&high, &many), INF64);
+        // Target hub before the start of `large`.
+        let low = entries(&[(0, 4)]);
+        let tail = entries(&[(7, 1), (8, 2)]);
+        assert_eq!(galloping_merge_bound(&low, &tail), INF64);
     }
 }

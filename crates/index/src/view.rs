@@ -6,7 +6,14 @@
 //! * [`HighwayCoverIndex`](crate::HighwayCoverIndex) (owned `Vec`s, produced
 //!   by a build) via [`HighwayCoverIndex::as_view`](crate::HighwayCoverIndex::as_view),
 //! * `hcl-store`'s memory-mapped files, whose validated byte ranges are
-//!   reinterpreted as the same six slices without copying.
+//!   reinterpreted as the same five slices without copying.
+//!
+//! Each label entry is one **packed `u64`** — hub rank in the high 32 bits,
+//! distance in the low 32 ([`pack_label_entry`] / [`unpack_label_entry`]).
+//! The query hot path walks one cache-line-friendly array per vertex
+//! instead of two parallel pointer streams, and because hubs occupy the
+//! high bits, per-vertex entries sorted by hub are also sorted as plain
+//! `u64`s — which is what the galloping merge in `query.rs` relies on.
 //!
 //! Untrusted data enters through [`IndexView::from_parts`], which checks
 //! every structural invariant the query engine relies on, so hot paths can
@@ -15,6 +22,33 @@
 use crate::build::{HighwayCoverIndex, IndexStats, NOT_A_LANDMARK};
 use hcl_core::VertexId;
 use std::fmt;
+
+/// Packs a `(hub rank, distance)` label pair into one `u64`: hub in the
+/// high 32 bits, distance in the low 32. Hub-sorted entry sequences are
+/// therefore also `u64`-sorted.
+#[inline]
+pub const fn pack_label_entry(hub: u32, dist: u32) -> u64 {
+    ((hub as u64) << 32) | dist as u64
+}
+
+/// Unpacks a label entry into `(hub rank, distance)`; inverse of
+/// [`pack_label_entry`].
+#[inline]
+pub const fn unpack_label_entry(entry: u64) -> (u32, u32) {
+    ((entry >> 32) as u32, entry as u32)
+}
+
+/// The hub rank of a packed label entry (its high 32 bits).
+#[inline]
+pub(crate) const fn entry_hub(entry: u64) -> u32 {
+    (entry >> 32) as u32
+}
+
+/// The distance of a packed label entry (its low 32 bits).
+#[inline]
+pub(crate) const fn entry_dist(entry: u64) -> u32 {
+    entry as u32
+}
 
 /// Validation failure for raw index arrays ([`IndexView::from_parts`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,14 +68,12 @@ pub enum IndexDataError {
         /// Vertex whose label extent is negative.
         vertex: usize,
     },
-    /// The final label offset disagrees with the hub/distance array lengths.
+    /// The final label offset disagrees with the entry array length.
     EntriesLengthMismatch {
         /// Value of the final label offset.
         offsets_total: u64,
-        /// Length of the hub array.
-        hubs_len: usize,
-        /// Length of the distance array.
-        dists_len: usize,
+        /// Length of the packed entry array.
+        entries_len: usize,
     },
     /// More landmarks than vertices.
     TooManyLandmarks {
@@ -107,12 +139,11 @@ impl fmt::Display for IndexDataError {
             }
             IndexDataError::EntriesLengthMismatch {
                 offsets_total,
-                hubs_len,
-                dists_len,
+                entries_len,
             } => write!(
                 f,
-                "final label offset {offsets_total} disagrees with hub/dist lengths \
-                 {hubs_len}/{dists_len}"
+                "final label offset {offsets_total} disagrees with entry array length \
+                 {entries_len}"
             ),
             IndexDataError::TooManyLandmarks {
                 landmarks,
@@ -158,7 +189,7 @@ impl std::error::Error for IndexDataError {}
 
 /// A borrowed, zero-copy view of a highway-cover index.
 ///
-/// Six slices, layout-identical to the owned
+/// Five slices, layout-identical to the owned
 /// [`HighwayCoverIndex`](crate::HighwayCoverIndex); see the module docs.
 /// `Copy`, so pass it by value. All query entry points
 /// ([`query_with`](IndexView::query_with) and friends) live on this type.
@@ -169,12 +200,11 @@ pub struct IndexView<'a> {
     /// Vertex id → landmark rank, or [`NOT_A_LANDMARK`]; length is the
     /// vertex count.
     pub(crate) landmark_rank: &'a [u32],
-    /// CSR offsets into `label_hubs` / `label_dists`; length `n + 1`.
+    /// CSR offsets into `label_entries`; length `n + 1`.
     pub(crate) label_offsets: &'a [u64],
-    /// Hub (landmark rank) per label entry, ascending within each vertex.
-    pub(crate) label_hubs: &'a [u32],
-    /// Distance to the hub per label entry.
-    pub(crate) label_dists: &'a [u32],
+    /// Packed `(hub << 32) | dist` label entries, hub-ascending (hence
+    /// `u64`-ascending) within each vertex.
+    pub(crate) label_entries: &'a [u64],
     /// Row-major `k × k` closed landmark-to-landmark distances.
     pub(crate) highway: &'a [u32],
 }
@@ -183,26 +213,25 @@ impl<'a> IndexView<'a> {
     /// Builds a validated view over raw index arrays.
     ///
     /// Checks every structural invariant the query engine indexes by:
-    /// label offsets monotone and spanning the entry arrays, hubs strictly
-    /// ascending and `< k`, `landmarks`/`landmark_rank` mutually inverse,
-    /// highway `k × k` with zero diagonal and symmetric. `O(n + entries +
-    /// k²)` — run once per load. Semantic correctness of the *distances*
-    /// is not (cannot cheaply be) verified here; a tampered-but-well-formed
-    /// file yields wrong answers, never panics or UB.
+    /// label offsets monotone and spanning the entry array, entry hubs
+    /// strictly ascending and `< k`, `landmarks`/`landmark_rank` mutually
+    /// inverse, highway `k × k` with zero diagonal and symmetric. `O(n +
+    /// entries + k²)` — run once per load. Semantic correctness of the
+    /// *distances* is not (cannot cheaply be) verified here; a
+    /// tampered-but-well-formed file yields wrong answers, never panics or
+    /// UB.
     pub fn from_parts(
         landmarks: &'a [VertexId],
         landmark_rank: &'a [u32],
         label_offsets: &'a [u64],
-        label_hubs: &'a [u32],
-        label_dists: &'a [u32],
+        label_entries: &'a [u64],
         highway: &'a [u32],
     ) -> Result<Self, IndexDataError> {
         let view = Self::from_parts_unchecked(
             landmarks,
             landmark_rank,
             label_offsets,
-            label_hubs,
-            label_dists,
+            label_entries,
             highway,
         );
         view.validate()?;
@@ -219,16 +248,14 @@ impl<'a> IndexView<'a> {
         landmarks: &'a [VertexId],
         landmark_rank: &'a [u32],
         label_offsets: &'a [u64],
-        label_hubs: &'a [u32],
-        label_dists: &'a [u32],
+        label_entries: &'a [u64],
         highway: &'a [u32],
     ) -> Self {
         Self {
             landmarks,
             landmark_rank,
             label_offsets,
-            label_hubs,
-            label_dists,
+            label_entries,
             highway,
         }
     }
@@ -252,11 +279,10 @@ impl<'a> IndexView<'a> {
             }
             prev = off;
         }
-        if prev != self.label_hubs.len() as u64 || self.label_hubs.len() != self.label_dists.len() {
+        if prev != self.label_entries.len() as u64 {
             return Err(IndexDataError::EntriesLengthMismatch {
                 offsets_total: prev,
-                hubs_len: self.label_hubs.len(),
-                dists_len: self.label_dists.len(),
+                entries_len: self.label_entries.len(),
             });
         }
         if k > n {
@@ -289,12 +315,15 @@ impl<'a> IndexView<'a> {
                 });
             }
         }
-        // Labels: hubs strictly ascending and in range.
+        // Labels: hubs strictly ascending and in range. Because hubs sit in
+        // the high 32 bits, strict hub ascent is exactly strict `u64`
+        // ascent of the packed entries.
         for v in 0..n {
             let lo = self.label_offsets[v] as usize;
             let hi = self.label_offsets[v + 1] as usize;
             let mut last: Option<u32> = None;
-            for &hub in &self.label_hubs[lo..hi] {
+            for &entry in &self.label_entries[lo..hi] {
+                let hub = entry_hub(entry);
                 if hub as usize >= k {
                     return Err(IndexDataError::HubOutOfRange { vertex: v, hub });
                 }
@@ -334,10 +363,9 @@ impl<'a> IndexView<'a> {
     pub fn label(&self, v: VertexId) -> impl Iterator<Item = (u32, u32)> + 'a {
         let lo = self.label_offsets[v as usize] as usize;
         let hi = self.label_offsets[v as usize + 1] as usize;
-        self.label_hubs[lo..hi]
+        self.label_entries[lo..hi]
             .iter()
-            .copied()
-            .zip(self.label_dists[lo..hi].iter().copied())
+            .map(|&e| unpack_label_entry(e))
     }
 
     /// Whether vertex `v` is a landmark.
@@ -360,14 +388,9 @@ impl<'a> IndexView<'a> {
         self.label_offsets
     }
 
-    /// Flat per-entry hub ranks (for serialisation).
-    pub fn label_hubs(&self) -> &'a [u32] {
-        self.label_hubs
-    }
-
-    /// Flat per-entry hub distances (for serialisation).
-    pub fn label_dists(&self) -> &'a [u32] {
-        self.label_dists
+    /// Flat packed `(hub << 32) | dist` label entries (for serialisation).
+    pub fn label_entries(&self) -> &'a [u64] {
+        self.label_entries
     }
 
     /// Row-major `k × k` closed highway matrix (for serialisation).
@@ -381,15 +404,14 @@ impl<'a> IndexView<'a> {
             landmarks: self.landmarks.to_vec(),
             landmark_rank: self.landmark_rank.to_vec(),
             label_offsets: self.label_offsets.to_vec(),
-            label_hubs: self.label_hubs.to_vec(),
-            label_dists: self.label_dists.to_vec(),
+            label_entries: self.label_entries.to_vec(),
             highway: self.highway.to_vec(),
         }
     }
 
     /// Size statistics for logging and tuning.
     pub fn stats(&self) -> IndexStats {
-        let total = self.label_hubs.len();
+        let total = self.label_entries.len();
         let n = self.num_vertices();
         let max = (0..n)
             .map(|v| (self.label_offsets[v + 1] - self.label_offsets[v]) as usize)
@@ -398,8 +420,7 @@ impl<'a> IndexView<'a> {
         let bytes = std::mem::size_of_val(self.landmarks)
             + std::mem::size_of_val(self.landmark_rank)
             + std::mem::size_of_val(self.label_offsets)
-            + std::mem::size_of_val(self.label_hubs)
-            + std::mem::size_of_val(self.label_dists)
+            + std::mem::size_of_val(self.label_entries)
             + std::mem::size_of_val(self.highway);
         IndexStats {
             num_landmarks: self.landmarks.len(),
@@ -423,6 +444,23 @@ mod tests {
     use crate::IndexConfig;
     use hcl_core::testkit;
 
+    /// Packs parallel hub/dist arrays — the shape tests are written in.
+    fn pack(hubs: &[u32], dists: &[u32]) -> Vec<u64> {
+        hubs.iter()
+            .zip(dists)
+            .map(|(&h, &d)| pack_label_entry(h, d))
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_and_orders_by_hub() {
+        for (h, d) in [(0u32, 0u32), (1, u32::MAX), (u32::MAX, 7), (3, 3)] {
+            assert_eq!(unpack_label_entry(pack_label_entry(h, d)), (h, d));
+        }
+        // Hub dominates the packed ordering regardless of distances.
+        assert!(pack_label_entry(1, u32::MAX) < pack_label_entry(2, 0));
+    }
+
     #[test]
     fn build_output_validates_cleanly() {
         for k in [0, 1, 4, 16] {
@@ -433,8 +471,7 @@ mod tests {
                 v.landmarks(),
                 v.landmark_rank(),
                 v.label_offsets(),
-                v.label_hubs(),
-                v.label_dists(),
+                v.label_entries(),
                 v.highway(),
             )
             .expect("freshly built index must validate");
@@ -463,60 +500,53 @@ mod tests {
         let landmarks: &[u32] = &[0];
         let rank: &[u32] = &[0, NOT_A_LANDMARK];
         let offsets: &[u64] = &[0, 1, 2];
-        let hubs: &[u32] = &[0, 0];
-        let dists: &[u32] = &[0, 1];
+        let entries = pack(&[0, 0], &[0, 1]);
         let highway: &[u32] = &[0];
-        assert!(IndexView::from_parts(landmarks, rank, offsets, hubs, dists, highway).is_ok());
+        assert!(IndexView::from_parts(landmarks, rank, offsets, &entries, highway).is_ok());
 
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, &[0, 1], hubs, dists, highway).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, &[0, 1], &entries, highway).unwrap_err(),
             IndexDataError::OffsetsLength { .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, &[0, 2, 1], hubs, dists, highway).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, &[0, 2, 1], &entries, highway).unwrap_err(),
             IndexDataError::NonMonotoneOffsets { .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, &[0, 1, 3], hubs, dists, highway).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, &[0, 1, 3], &entries, highway).unwrap_err(),
             IndexDataError::EntriesLengthMismatch { .. }
         ));
+        let bad_hub = pack(&[5, 0], &[0, 1]);
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, offsets, &[5, 0], dists, highway).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, offsets, &bad_hub, highway).unwrap_err(),
             IndexDataError::HubOutOfRange { hub: 5, .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, offsets, hubs, dists, &[0, 0]).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, offsets, &entries, &[0, 0]).unwrap_err(),
             IndexDataError::HighwayShape { .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(&[9], rank, offsets, hubs, dists, highway).unwrap_err(),
+            IndexView::from_parts(&[9], rank, offsets, &entries, highway).unwrap_err(),
             IndexDataError::LandmarkOutOfRange { vertex: 9, .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(landmarks, &[0, 0], offsets, hubs, dists, highway).unwrap_err(),
+            IndexView::from_parts(landmarks, &[0, 0], offsets, &entries, highway).unwrap_err(),
             IndexDataError::RankTableMismatch { .. }
         ));
         assert!(matches!(
-            IndexView::from_parts(landmarks, rank, offsets, hubs, dists, &[3]).unwrap_err(),
+            IndexView::from_parts(landmarks, rank, offsets, &entries, &[3]).unwrap_err(),
             IndexDataError::HighwayDiagonal { .. }
         ));
         // Duplicate hub within one vertex label.
+        let dup = pack(&[0, 0], &[0, 1]);
         assert!(matches!(
-            IndexView::from_parts(
-                &[0, 1],
-                &[0, 1],
-                &[0, 2, 2],
-                &[0, 0],
-                &[0, 1],
-                &[0, 1, 1, 0]
-            )
-            .unwrap_err(),
+            IndexView::from_parts(&[0, 1], &[0, 1], &[0, 2, 2], &dup, &[0, 1, 1, 0]).unwrap_err(),
             IndexDataError::UnsortedHubs { vertex: 0 }
         ));
         // Asymmetric highway on the same 2-landmark shape.
+        let one = pack(&[0], &[0]);
         assert!(matches!(
-            IndexView::from_parts(&[0, 1], &[0, 1], &[0, 1, 1], &[0], &[0], &[0, 1, 2, 0])
-                .unwrap_err(),
+            IndexView::from_parts(&[0, 1], &[0, 1], &[0, 1, 1], &one, &[0, 1, 2, 0]).unwrap_err(),
             IndexDataError::HighwayAsymmetric { .. }
         ));
     }

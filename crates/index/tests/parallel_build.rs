@@ -1,5 +1,5 @@
 //! Determinism property tests for the batched parallel builder: for a
-//! fixed batch size, every thread count must produce an index whose six
+//! fixed batch size, every thread count must produce an index whose five
 //! arrays are **identical** to the sequential (`threads = 1`) build — over
 //! every testkit family, multiple landmark counts, and several batch
 //! sizes. This is the contract that lets `hcl build --threads N` persist
@@ -36,8 +36,7 @@ fn assert_identical(name: &str, a: &HighwayCoverIndex, b: &HighwayCoverIndex) {
     assert_eq!(a.landmarks(), b.landmarks(), "{name}: landmarks");
     assert_eq!(a.landmark_rank(), b.landmark_rank(), "{name}: rank table");
     assert_eq!(a.label_offsets(), b.label_offsets(), "{name}: offsets");
-    assert_eq!(a.label_hubs(), b.label_hubs(), "{name}: hubs");
-    assert_eq!(a.label_dists(), b.label_dists(), "{name}: dists");
+    assert_eq!(a.label_entries(), b.label_entries(), "{name}: entries");
     assert_eq!(a.highway(), b.highway(), "{name}: highway");
 }
 

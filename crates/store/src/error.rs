@@ -24,7 +24,9 @@ pub enum StoreError {
     UnsupportedVersion {
         /// Version number in the file.
         found: u32,
-        /// Version this build supports.
+        /// Oldest version this build reads.
+        oldest_supported: u32,
+        /// Newest version this build reads (the one it writes).
         supported: u32,
     },
     /// The file is shorter than its header claims (or than the header
@@ -76,10 +78,15 @@ impl fmt::Display for StoreError {
             StoreError::BadMagic { found } => {
                 write!(f, "not an hcl index file (magic {:02x?})", found)
             }
-            StoreError::UnsupportedVersion { found, supported } => {
+            StoreError::UnsupportedVersion {
+                found,
+                oldest_supported,
+                supported,
+            } => {
                 write!(
                     f,
-                    "format version {found} unsupported (this build reads {supported})"
+                    "format version {found} unsupported (this build reads \
+                     {oldest_supported} through {supported})"
                 )
             }
             StoreError::Truncated { expected, actual } => {

@@ -6,7 +6,7 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic "HCLSTOR1"
 //!      8     4  format version (u32 LE)
-//!     12     4  section count (u32 LE) — always 8 in version 2
+//!     12     4  section count (u32 LE) — 7 in version 3, 8 in version 2
 //!     16     8  total file length in bytes (u64 LE)
 //!     24     8  CRC-64/ECMA of the whole file with this field zeroed
 //!     32     8  num_vertices (u64 LE)
@@ -16,33 +16,63 @@
 //!     64     4  build metadata: builder worker threads (u32 LE, 0 = unrecorded)
 //!     68     4  build metadata: landmark batch size (u32 LE, 0 = unrecorded)
 //!     72     8  reserved build-metadata bytes (zeroed, ignored on read)
-//!     80   8·24 section table: {kind u32, elem_size u32, offset u64,
-//!                len_bytes u64} per section
-//!    272     …  sections, each 8-byte aligned, zero-padded between
+//!     80  S·24  section table: {kind u32, elem_size u32, offset u64,
+//!               len_bytes u64} per section (S = section count)
+//!      …     …  sections, each 8-byte aligned, zero-padded between
 //! ```
 //!
-//! Version history: v1 had a 64-byte header without the build-metadata
-//! block; v2 (current) appended 16 bytes to the header for it. Readers
-//! reject other versions with a typed error rather than mis-reading.
+//! ## Version 3 (current) — packed label entries
+//!
+//! v3 stores each label entry as one `u64` — hub rank in the high 32
+//! bits, distance in the low 32 (`hcl-index`'s
+//! [`pack_label_entry`](hcl_index::pack_label_entry)) — in a single
+//! `label_entries` section (kind 9, element size 8). That is exactly the
+//! in-memory layout of the query hot path, so a mapped v3 file serves with
+//! no decode step at all. The seven v3 sections, in canonical order:
+//! `graph_offsets` (u64), `graph_neighbors` (u32), `landmarks` (u32),
+//! `landmark_rank` (u32), `label_offsets` (u64), `label_entries` (u64),
+//! `highway` (u32).
+//!
+//! ## Version history and compatibility
+//!
+//! * v1: 64-byte header, no build-metadata block (no longer readable).
+//! * v2: appended 16 build-metadata bytes to the header; labels stored as
+//!   two parallel `u32` sections, `label_hubs` (kind 6) and `label_dists`
+//!   (kind 7).
+//! * v3: replaced the two label sections with the packed `label_entries`
+//!   section (kind 9).
+//!
+//! This reader accepts **v2 and v3**. v2 files are served through a
+//! converting open: the two `u32` sections are packed once into an owned
+//! entry array at load (`O(entries)` time and `8·entries` bytes of heap;
+//! the rest of the file still serves zero-copy from the map). Writers
+//! always emit v3; [`serialize_v2_with`] exists so tests and migration
+//! tooling can fabricate legacy containers. Unknown versions are rejected
+//! with a typed error rather than mis-read.
 //!
 //! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
 //! all section offsets 8-byte aligned — which is exactly what lets a
 //! little-endian host reinterpret the mapped file as the index's slices
-//! with no decode step. Validation happens once at open: header, checksum,
+//! with no decode step. Validation happens once at open: header, checksum
+//! (skipped by the trusted-open path — see
+//! [`IndexStore::open_trusted`](crate::IndexStore::open_trusted)),
 //! section-table geometry, then the semantic CSR/label invariants via
 //! `hcl-core`/`hcl-index`. After that, serving is pointer arithmetic.
 
 use crate::checksum::{crc64_finish, crc64_init, crc64_update};
 use crate::error::StoreError;
 use hcl_core::Graph;
-use hcl_index::HighwayCoverIndex;
+use hcl_index::{unpack_label_entry, HighwayCoverIndex};
 use std::ops::Range;
 
 /// File magic: "HCLSTOR1".
 pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
-/// Format version this build writes and reads (v2 added the 16
-/// build-metadata bytes at offset 64).
-pub const FORMAT_VERSION: u32 = 2;
+/// Format version this build writes (v3: packed `u64` label entries in a
+/// single section). Versions 2 and 3 are readable.
+pub const FORMAT_VERSION: u32 = 3;
+/// Oldest format version this build still reads (v2: split
+/// `label_hubs`/`label_dists` sections, served through a converting open).
+pub const OLDEST_READABLE_VERSION: u32 = 2;
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 80;
 /// Byte offset of the checksum field inside the header.
@@ -51,10 +81,14 @@ pub const CHECKSUM_OFFSET: usize = 24;
 const BUILD_META_OFFSET: usize = 64;
 
 const SECTION_ENTRY_LEN: usize = 24;
-const NUM_SECTIONS: usize = 8;
-const TABLE_END: usize = HEADER_LEN + NUM_SECTIONS * SECTION_ENTRY_LEN;
+/// Section counts per readable version.
+const NUM_SECTIONS_V2: usize = 8;
+const NUM_SECTIONS_V3: usize = 7;
+/// Highest section-kind discriminant across all readable versions.
+const MAX_SECTION_KINDS: usize = 9;
 
-/// Section kinds, in canonical table order.
+/// Section kinds across all readable versions. Kinds 6/7 only appear in
+/// v2 files, kind 9 only in v3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum SectionKind {
@@ -66,6 +100,7 @@ enum SectionKind {
     LabelHubs = 6,
     LabelDists = 7,
     Highway = 8,
+    LabelEntries = 9,
 }
 
 impl SectionKind {
@@ -79,13 +114,14 @@ impl SectionKind {
             6 => Some(Self::LabelHubs),
             7 => Some(Self::LabelDists),
             8 => Some(Self::Highway),
+            9 => Some(Self::LabelEntries),
             _ => None,
         }
     }
 
     fn elem_size(self) -> u32 {
         match self {
-            Self::GraphOffsets | Self::LabelOffsets => 8,
+            Self::GraphOffsets | Self::LabelOffsets | Self::LabelEntries => 8,
             _ => 4,
         }
     }
@@ -100,6 +136,33 @@ impl SectionKind {
             Self::LabelHubs => "label_hubs",
             Self::LabelDists => "label_dists",
             Self::Highway => "highway",
+            Self::LabelEntries => "label_entries",
+        }
+    }
+
+    /// Canonical section-table order for one format version.
+    fn table_for(version: u32) -> &'static [SectionKind] {
+        match version {
+            2 => &[
+                Self::GraphOffsets,
+                Self::GraphNeighbors,
+                Self::Landmarks,
+                Self::LandmarkRank,
+                Self::LabelOffsets,
+                Self::LabelHubs,
+                Self::LabelDists,
+                Self::Highway,
+            ],
+            3 => &[
+                Self::GraphOffsets,
+                Self::GraphNeighbors,
+                Self::Landmarks,
+                Self::LandmarkRank,
+                Self::LabelOffsets,
+                Self::LabelEntries,
+                Self::Highway,
+            ],
+            _ => unreachable!("version gated before table lookup"),
         }
     }
 }
@@ -124,7 +187,7 @@ pub struct BuildInfo {
 /// touching any section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Format version of the file.
+    /// Format version of the file (2 or 3; see the module docs).
     pub version: u32,
     /// Total file length in bytes.
     pub file_len: u64,
@@ -155,6 +218,23 @@ pub struct SectionInfo {
     pub len_bytes: u64,
 }
 
+/// Where the label entries live — the one layout difference between the
+/// readable versions.
+pub(crate) enum LabelRanges {
+    /// v3: one packed `u64` section, servable in place.
+    Packed {
+        /// Byte range of the `label_entries` section.
+        entries: Range<usize>,
+    },
+    /// v2: two parallel `u32` sections, packed into an owned array at open.
+    Split {
+        /// Byte range of the `label_hubs` section.
+        hubs: Range<usize>,
+        /// Byte range of the `label_dists` section.
+        dists: Range<usize>,
+    },
+}
+
 /// Validated byte ranges of every section plus the decoded metadata.
 pub(crate) struct Layout {
     pub(crate) meta: StoreMeta,
@@ -163,29 +243,34 @@ pub(crate) struct Layout {
     pub(crate) landmarks: Range<usize>,
     pub(crate) landmark_rank: Range<usize>,
     pub(crate) label_offsets: Range<usize>,
-    pub(crate) label_hubs: Range<usize>,
-    pub(crate) label_dists: Range<usize>,
+    pub(crate) labels: LabelRanges,
     pub(crate) highway: Range<usize>,
 }
 
 impl Layout {
-    pub(crate) fn sections(&self) -> [SectionInfo; NUM_SECTIONS] {
+    pub(crate) fn sections(&self) -> Vec<SectionInfo> {
         let info = |kind: SectionKind, r: &Range<usize>| SectionInfo {
             name: kind.name(),
             elem_size: kind.elem_size(),
             offset: r.start as u64,
             len_bytes: (r.end - r.start) as u64,
         };
-        [
+        let mut out = vec![
             info(SectionKind::GraphOffsets, &self.graph_offsets),
             info(SectionKind::GraphNeighbors, &self.graph_neighbors),
             info(SectionKind::Landmarks, &self.landmarks),
             info(SectionKind::LandmarkRank, &self.landmark_rank),
             info(SectionKind::LabelOffsets, &self.label_offsets),
-            info(SectionKind::LabelHubs, &self.label_hubs),
-            info(SectionKind::LabelDists, &self.label_dists),
-            info(SectionKind::Highway, &self.highway),
-        ]
+        ];
+        match &self.labels {
+            LabelRanges::Packed { entries } => out.push(info(SectionKind::LabelEntries, entries)),
+            LabelRanges::Split { hubs, dists } => {
+                out.push(info(SectionKind::LabelHubs, hubs));
+                out.push(info(SectionKind::LabelDists, dists));
+            }
+        }
+        out.push(info(SectionKind::Highway, &self.highway));
+        out
     }
 }
 
@@ -230,8 +315,8 @@ pub(crate) fn file_checksum(bytes: &[u8]) -> u64 {
     crc64_finish(state)
 }
 
-/// Serialises a graph and its index into an in-memory `.hcl` container,
-/// leaving the build-metadata bytes unrecorded (zero).
+/// Serialises a graph and its index into an in-memory `.hcl` container
+/// (current version), leaving the build-metadata bytes unrecorded (zero).
 ///
 /// Fails with [`StoreError::GraphIndexMismatch`] if the index was built for
 /// a different vertex count. Output is deterministic: the same graph and
@@ -240,13 +325,38 @@ pub fn serialize(graph: &Graph, index: &HighwayCoverIndex) -> Result<Vec<u8>, St
     serialize_with(graph, index, BuildInfo::default())
 }
 
-/// Serialises a graph and its index, recording how the index was built in
-/// the header's build-metadata bytes. See [`serialize`] for everything
-/// else; determinism holds per `(graph, index, build)` triple.
+/// Serialises a graph and its index (current version), recording how the
+/// index was built in the header's build-metadata bytes. See [`serialize`]
+/// for everything else; determinism holds per `(graph, index, build)`
+/// triple.
 pub fn serialize_with(
     graph: &Graph,
     index: &HighwayCoverIndex,
     build: BuildInfo,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(graph, index, build, FORMAT_VERSION)
+}
+
+/// Serialises a graph and its index as a **legacy v2 container** (split
+/// `label_hubs`/`label_dists` sections).
+///
+/// For compatibility tests and migration tooling only — it lets this build
+/// fabricate the files older readers expect, and lets the test suite prove
+/// the v2 → v3 converting open answers queries identically. New files
+/// should always be written through [`serialize`]/[`serialize_with`].
+pub fn serialize_v2_with(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(graph, index, build, 2)
+}
+
+fn serialize_version(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    version: u32,
 ) -> Result<Vec<u8>, StoreError> {
     let gv = graph.as_view();
     let iv = index.as_view();
@@ -257,7 +367,19 @@ pub fn serialize_with(
         });
     }
 
-    let parts: [(SectionKind, Payload<'_>); NUM_SECTIONS] = [
+    // v2 stores labels as two parallel u32 arrays; unpack into temporaries.
+    let (mut hubs, mut dists) = (Vec::new(), Vec::new());
+    if version == 2 {
+        hubs.reserve_exact(iv.label_entries().len());
+        dists.reserve_exact(iv.label_entries().len());
+        for &e in iv.label_entries() {
+            let (h, d) = unpack_label_entry(e);
+            hubs.push(h);
+            dists.push(d);
+        }
+    }
+
+    let mut parts: Vec<(SectionKind, Payload<'_>)> = vec![
         (SectionKind::GraphOffsets, Payload::U64(gv.csr_offsets())),
         (
             SectionKind::GraphNeighbors,
@@ -266,13 +388,23 @@ pub fn serialize_with(
         (SectionKind::Landmarks, Payload::U32(iv.landmarks())),
         (SectionKind::LandmarkRank, Payload::U32(iv.landmark_rank())),
         (SectionKind::LabelOffsets, Payload::U64(iv.label_offsets())),
-        (SectionKind::LabelHubs, Payload::U32(iv.label_hubs())),
-        (SectionKind::LabelDists, Payload::U32(iv.label_dists())),
-        (SectionKind::Highway, Payload::U32(iv.highway())),
     ];
+    if version == 2 {
+        parts.push((SectionKind::LabelHubs, Payload::U32(&hubs)));
+        parts.push((SectionKind::LabelDists, Payload::U32(&dists)));
+    } else {
+        parts.push((SectionKind::LabelEntries, Payload::U64(iv.label_entries())));
+    }
+    parts.push((SectionKind::Highway, Payload::U32(iv.highway())));
+    debug_assert_eq!(
+        parts.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        SectionKind::table_for(version)
+    );
 
-    let mut out = vec![0u8; TABLE_END];
-    let mut entries: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(NUM_SECTIONS);
+    let num_sections = parts.len();
+    let table_end = HEADER_LEN + num_sections * SECTION_ENTRY_LEN;
+    let mut out = vec![0u8; table_end];
+    let mut entries: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(num_sections);
     for (kind, payload) in &parts {
         while out.len() % 8 != 0 {
             out.push(0);
@@ -293,14 +425,14 @@ pub fn serialize_with(
 
     // Header (checksum patched last).
     out[0..8].copy_from_slice(&MAGIC);
-    out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out[12..16].copy_from_slice(&(NUM_SECTIONS as u32).to_le_bytes());
+    out[8..12].copy_from_slice(&version.to_le_bytes());
+    out[12..16].copy_from_slice(&(num_sections as u32).to_le_bytes());
     let total_len = out.len() as u64;
     out[16..24].copy_from_slice(&total_len.to_le_bytes());
     out[32..40].copy_from_slice(&(gv.num_vertices() as u64).to_le_bytes());
     out[40..48].copy_from_slice(&(gv.num_edges() as u64).to_le_bytes());
     out[48..56].copy_from_slice(&(iv.num_landmarks() as u64).to_le_bytes());
-    out[56..64].copy_from_slice(&(iv.label_hubs().len() as u64).to_le_bytes());
+    out[56..64].copy_from_slice(&(iv.label_entries().len() as u64).to_le_bytes());
     out[BUILD_META_OFFSET..BUILD_META_OFFSET + 4].copy_from_slice(&build.threads.to_le_bytes());
     out[BUILD_META_OFFSET + 4..BUILD_META_OFFSET + 8]
         .copy_from_slice(&build.batch_size.to_le_bytes());
@@ -336,13 +468,18 @@ fn corrupt(what: impl Into<String>) -> StoreError {
 
 /// Parses and validates the header and section table, returning the layout.
 ///
-/// Checks, in order: minimum length, magic, version, declared vs actual
-/// file length (truncation / trailing bytes), checksum, then section-table
-/// geometry (known kinds, element sizes, 8-byte alignment, in-bounds,
-/// non-overlapping) and element counts against the header metadata.
-/// Semantic validation of the array *contents* happens afterwards in
-/// `IndexStore` via `GraphView::from_csr` / `IndexView::from_parts`.
-pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
+/// Checks, in order: minimum length, magic, version (2 and 3 are
+/// readable), declared vs actual file length (truncation / trailing
+/// bytes), checksum (unless `verify_checksum` is false — the trusted-open
+/// path), then section-table geometry (version-appropriate kinds, element
+/// sizes, 8-byte alignment, in-bounds, non-overlapping) and element counts
+/// against the header metadata. Semantic validation of the array
+/// *contents* happens afterwards in `IndexStore` via `GraphView::from_csr`
+/// / `IndexView::from_parts`.
+pub(crate) fn parse_and_validate(
+    bytes: &[u8],
+    verify_checksum: bool,
+) -> Result<Layout, StoreError> {
     // Magic first (when at least 8 bytes exist): "this is not an index
     // file" is a more useful diagnosis than "truncated" for foreign files.
     if bytes.len() >= 8 {
@@ -358,9 +495,10 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         });
     }
     let version = u32_le(bytes, 8);
-    if version != FORMAT_VERSION {
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion {
             found: version,
+            oldest_supported: OLDEST_READABLE_VERSION,
             supported: FORMAT_VERSION,
         });
     }
@@ -378,18 +516,28 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         )));
     }
     let stored = u64_le(bytes, CHECKSUM_OFFSET);
-    let computed = file_checksum(bytes);
-    if stored != computed {
-        return Err(StoreError::ChecksumMismatch { stored, computed });
+    if verify_checksum {
+        let computed = file_checksum(bytes);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
     }
 
+    let expected_sections = if version == 2 {
+        NUM_SECTIONS_V2
+    } else {
+        NUM_SECTIONS_V3
+    };
+    let allowed = SectionKind::table_for(version);
     let section_count = u32_le(bytes, 12);
-    if section_count as usize != NUM_SECTIONS {
+    if section_count as usize != expected_sections {
         return Err(corrupt(format!(
-            "expected {NUM_SECTIONS} sections, header declares {section_count}"
+            "expected {expected_sections} sections for version {version}, header declares \
+             {section_count}"
         )));
     }
-    if bytes.len() < TABLE_END {
+    let table_end = HEADER_LEN + expected_sections * SECTION_ENTRY_LEN;
+    if bytes.len() < table_end {
         return Err(corrupt("section table extends past end of file"));
     }
 
@@ -409,13 +557,18 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         // a future writer may use them without breaking this reader.
     };
 
-    let mut ranges: [Option<Range<usize>>; NUM_SECTIONS] = Default::default();
-    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(NUM_SECTIONS);
-    for i in 0..NUM_SECTIONS {
+    let mut ranges: [Option<Range<usize>>; MAX_SECTION_KINDS] = Default::default();
+    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(expected_sections);
+    for i in 0..expected_sections {
         let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
         let kind_raw = u32_le(bytes, at);
         let kind = SectionKind::from_u32(kind_raw)
-            .ok_or_else(|| corrupt(format!("unknown section kind {kind_raw}")))?;
+            .filter(|k| allowed.contains(k))
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "unknown section kind {kind_raw} for version {version}"
+                ))
+            })?;
         let elem_size = u32_le(bytes, at + 4);
         let offset = u64_le(bytes, at + 8);
         let len = u64_le(bytes, at + 16);
@@ -431,7 +584,7 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
                 "section {name} offset {offset} not 8-byte aligned"
             )));
         }
-        if offset < TABLE_END as u64 {
+        if offset < table_end as u64 {
             return Err(corrupt(format!("section {name} overlaps header/table")));
         }
         let end = offset
@@ -462,7 +615,17 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
     let take = |kind: SectionKind| -> Range<usize> {
         ranges[kind as u32 as usize - 1]
             .clone()
-            .expect("all eight kinds present: checked for duplicates across eight entries")
+            .expect("all version-required kinds present: duplicates rejected, count matched")
+    };
+    let labels = if version == 2 {
+        LabelRanges::Split {
+            hubs: take(SectionKind::LabelHubs),
+            dists: take(SectionKind::LabelDists),
+        }
+    } else {
+        LabelRanges::Packed {
+            entries: take(SectionKind::LabelEntries),
+        }
     };
     let layout = Layout {
         meta,
@@ -471,8 +634,7 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
         landmarks: take(SectionKind::Landmarks),
         landmark_rank: take(SectionKind::LandmarkRank),
         label_offsets: take(SectionKind::LabelOffsets),
-        label_hubs: take(SectionKind::LabelHubs),
-        label_dists: take(SectionKind::LabelDists),
+        labels,
         highway: take(SectionKind::Highway),
     };
 
@@ -505,16 +667,15 @@ pub(crate) fn parse_and_validate(bytes: &[u8]) -> Result<Layout, StoreError> {
     expect("landmarks", elems(&layout.landmarks, 4), k)?;
     expect("landmark_rank", elems(&layout.landmark_rank, 4), nv)?;
     expect("label_offsets", elems(&layout.label_offsets, 8), nv + 1)?;
-    expect(
-        "label_hubs",
-        elems(&layout.label_hubs, 4),
-        meta.label_entries,
-    )?;
-    expect(
-        "label_dists",
-        elems(&layout.label_dists, 4),
-        meta.label_entries,
-    )?;
+    match &layout.labels {
+        LabelRanges::Packed { entries } => {
+            expect("label_entries", elems(entries, 8), meta.label_entries)?;
+        }
+        LabelRanges::Split { hubs, dists } => {
+            expect("label_hubs", elems(hubs, 4), meta.label_entries)?;
+            expect("label_dists", elems(dists, 4), meta.label_entries)?;
+        }
+    }
     expect(
         "highway",
         elems(&layout.highway, 4),

@@ -29,8 +29,14 @@
 //! Integrity: the container carries magic, version, declared length, and a
 //! CRC-64 over the whole file, and every structural invariant of the CSR
 //! arrays is validated once at open. Corrupt, truncated, or tampered input
-//! yields a typed [`StoreError`] — never a panic, never UB. See
-//! [`format`](self) docs in `format.rs` for the byte layout.
+//! yields a typed [`StoreError`] — never a panic, never UB. The full-file
+//! CRC pass is the one validation cost that scales with file size, and it
+//! exists to catch *storage* corruption; for files the process just wrote
+//! (or the operator vouches for), [`IndexStore::open_trusted`] skips
+//! exactly that pass while keeping every header, geometry, and semantic
+//! check — making serving fan-out nearly free. See [`format`](self) docs in
+//! `format.rs` for the byte layout, including the v3 packed label-entry
+//! section and the v2 compatibility path.
 //!
 //! Platforms without the mmap fast path (or callers preferring a private
 //! copy) get the same API via [`IndexStore::open_preloaded`] /
@@ -45,14 +51,14 @@ mod format;
 pub use checksum::crc64;
 pub use error::StoreError;
 pub use format::{
-    rewrite_checksum, serialize, serialize_with, BuildInfo, SectionInfo, StoreMeta, FORMAT_VERSION,
-    HEADER_LEN, MAGIC,
+    rewrite_checksum, serialize, serialize_v2_with, serialize_with, BuildInfo, SectionInfo,
+    StoreMeta, FORMAT_VERSION, HEADER_LEN, MAGIC, OLDEST_READABLE_VERSION,
 };
 
 use backing::{cast_u32s, cast_u64s, AlignedBuf, Backing};
-use format::Layout;
+use format::{LabelRanges, Layout};
 use hcl_core::{Graph, GraphView, VertexId};
-use hcl_index::{HighwayCoverIndex, IndexView};
+use hcl_index::{pack_label_entry, HighwayCoverIndex, IndexView};
 use std::fs::File;
 use std::path::Path;
 
@@ -93,6 +99,17 @@ pub fn save_with(
     Ok(bytes.len() as u64)
 }
 
+/// How much of the integrity machinery an open pays for; see
+/// [`IndexStore::open`] vs [`IndexStore::open_trusted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpenMode {
+    /// Full validation including the whole-file CRC-64 pass.
+    Validated,
+    /// Skip the CRC pass; header, section geometry, and semantic CSR/label
+    /// validation still run.
+    Trusted,
+}
+
 /// An opened, validated `.hcl` container serving borrowed graph and index
 /// views.
 ///
@@ -101,9 +118,16 @@ pub fn save_with(
 /// (IndexStore::graph) and [`index`](IndexStore::index) are pointer
 /// arithmetic over the backing bytes. The store must outlive the views it
 /// hands out, which the borrow checker enforces.
+///
+/// Version-2 files (split hub/distance label sections) are served through
+/// a converting open: the label entries are packed into an owned array
+/// once at load, while every other section still serves zero-copy.
 pub struct IndexStore {
     backing: Backing,
     layout: Layout,
+    /// Owned packed label entries for v2 files (`None` for v3, which
+    /// serves them straight from the backing).
+    converted_entries: Option<Vec<u64>>,
 }
 
 impl std::fmt::Debug for IndexStore {
@@ -116,9 +140,32 @@ impl std::fmt::Debug for IndexStore {
 }
 
 impl IndexStore {
-    /// Opens a container, preferring the zero-copy memory-mapped backing
-    /// and falling back to a heap copy where mmap is unavailable.
+    /// Opens a container with **full validation**, preferring the
+    /// zero-copy memory-mapped backing and falling back to a heap copy
+    /// where mmap is unavailable.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_mode(path, OpenMode::Validated)
+    }
+
+    /// Opens a container **without the whole-file CRC pass** — for files
+    /// this process (or a trusted pipeline stage) just wrote, where the
+    /// checksum would only re-verify bytes the page cache already holds.
+    ///
+    /// Everything cheap still runs: magic, version, declared length,
+    /// section-table geometry, and the full semantic CSR/label validation
+    /// (`O(n + entries + k²)`, but without touching every payload byte a
+    /// second time for the CRC). What is *lost* is detection of silent
+    /// storage-level corruption inside array payloads whose values happen
+    /// to stay structurally plausible — distances, for instance. A
+    /// tampered-but-well-formed file therefore yields wrong answers,
+    /// never panics or UB (the same contract as
+    /// [`IndexView::from_parts`]); use [`IndexStore::open`] for files of
+    /// unknown provenance.
+    pub fn open_trusted(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_mode(path, OpenMode::Trusted)
+    }
+
+    fn open_mode(path: impl AsRef<Path>, mode: OpenMode) -> Result<Self, StoreError> {
         let path = path.as_ref();
         let file = File::open(path)?;
         let len = file.metadata()?.len();
@@ -127,11 +174,11 @@ impl IndexStore {
         {
             if len > 0 {
                 if let Ok(map) = backing::mmap::Mmap::map(&file, len as usize) {
-                    return Self::from_backing(Backing::Mmap(map));
+                    return Self::from_backing(Backing::Mmap(map), mode);
                 }
             }
         }
-        Self::open_via_read(file, len)
+        Self::open_via_read(file, len, mode)
     }
 
     /// Opens a container by reading it fully into an aligned heap buffer —
@@ -140,22 +187,34 @@ impl IndexStore {
     pub fn open_preloaded(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let file = File::open(path)?;
         let len = file.metadata()?.len();
-        Self::open_via_read(file, len)
+        Self::open_via_read(file, len, OpenMode::Validated)
     }
 
-    fn open_via_read(mut file: File, len: u64) -> Result<Self, StoreError> {
+    fn open_via_read(mut file: File, len: u64, mode: OpenMode) -> Result<Self, StoreError> {
         let buf = AlignedBuf::read_from(&mut file, len as usize)?;
-        Self::from_backing(Backing::Heap(buf))
+        Self::from_backing(Backing::Heap(buf), mode)
     }
 
     /// Validates an in-memory container image (copied into an aligned heap
     /// buffer). Handy for tests and for receiving index images over the
     /// network.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
-        Self::from_backing(Backing::Heap(AlignedBuf::copy_from(bytes)))
+        Self::from_backing(
+            Backing::Heap(AlignedBuf::copy_from(bytes)),
+            OpenMode::Validated,
+        )
     }
 
-    fn from_backing(backing: Backing) -> Result<Self, StoreError> {
+    /// [`from_bytes`](IndexStore::from_bytes) without the CRC pass; the
+    /// in-memory counterpart of [`open_trusted`](IndexStore::open_trusted).
+    pub fn from_bytes_trusted(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::from_backing(
+            Backing::Heap(AlignedBuf::copy_from(bytes)),
+            OpenMode::Trusted,
+        )
+    }
+
+    fn from_backing(backing: Backing, mode: OpenMode) -> Result<Self, StoreError> {
         #[cfg(target_endian = "big")]
         {
             return Err(StoreError::UnsupportedPlatform {
@@ -164,22 +223,39 @@ impl IndexStore {
         }
         #[cfg(not(target_endian = "big"))]
         {
-            let layout = format::parse_and_validate(backing.bytes())?;
-            let store = Self { backing, layout };
+            let layout = format::parse_and_validate(backing.bytes(), mode == OpenMode::Validated)?;
+
+            // v2 files carry labels as two parallel u32 sections; pack them
+            // once into the layout the query engine consumes. v3 serves
+            // them in place.
+            let bytes = backing.bytes();
+            let converted_entries = match &layout.labels {
+                LabelRanges::Packed { .. } => None,
+                LabelRanges::Split { hubs, dists } => {
+                    let hubs = cast_u32s(&bytes[hubs.clone()]);
+                    let dists = cast_u32s(&bytes[dists.clone()]);
+                    Some(
+                        hubs.iter()
+                            .zip(dists)
+                            .map(|(&h, &d)| pack_label_entry(h, d))
+                            .collect::<Vec<u64>>(),
+                    )
+                }
+            };
+
             // Semantic validation, once: afterwards the accessors can use
             // the unchecked view constructors.
-            let bytes = store.backing.bytes();
             let graph = GraphView::from_csr(
-                cast_u64s(&bytes[store.layout.graph_offsets.clone()]),
-                cast_u32s(&bytes[store.layout.graph_neighbors.clone()]),
+                cast_u64s(&bytes[layout.graph_offsets.clone()]),
+                cast_u32s(&bytes[layout.graph_neighbors.clone()]),
             )?;
+            let entries = packed_entries(&layout.labels, &converted_entries, bytes);
             let index = IndexView::from_parts(
-                cast_u32s(&bytes[store.layout.landmarks.clone()]),
-                cast_u32s(&bytes[store.layout.landmark_rank.clone()]),
-                cast_u64s(&bytes[store.layout.label_offsets.clone()]),
-                cast_u32s(&bytes[store.layout.label_hubs.clone()]),
-                cast_u32s(&bytes[store.layout.label_dists.clone()]),
-                cast_u32s(&bytes[store.layout.highway.clone()]),
+                cast_u32s(&bytes[layout.landmarks.clone()]),
+                cast_u32s(&bytes[layout.landmark_rank.clone()]),
+                cast_u64s(&bytes[layout.label_offsets.clone()]),
+                entries,
+                cast_u32s(&bytes[layout.highway.clone()]),
             )?;
             if graph.num_vertices() != index.num_vertices() {
                 return Err(StoreError::GraphIndexMismatch {
@@ -187,7 +263,11 @@ impl IndexStore {
                     index_vertices: index.num_vertices(),
                 });
             }
-            Ok(store)
+            Ok(Self {
+                backing,
+                layout,
+                converted_entries,
+            })
         }
     }
 
@@ -200,15 +280,16 @@ impl IndexStore {
         )
     }
 
-    /// The stored index, borrowed zero-copy from the backing.
+    /// The stored index, borrowed from the backing (zero-copy for v3
+    /// files; label entries come from the converted array for v2 files).
     pub fn index(&self) -> IndexView<'_> {
         let bytes = self.backing.bytes();
+        let entries = packed_entries(&self.layout.labels, &self.converted_entries, bytes);
         IndexView::from_parts_unchecked(
             cast_u32s(&bytes[self.layout.landmarks.clone()]),
             cast_u32s(&bytes[self.layout.landmark_rank.clone()]),
             cast_u64s(&bytes[self.layout.label_offsets.clone()]),
-            cast_u32s(&bytes[self.layout.label_hubs.clone()]),
-            cast_u32s(&bytes[self.layout.label_dists.clone()]),
+            entries,
             cast_u32s(&bytes[self.layout.highway.clone()]),
         )
     }
@@ -219,9 +300,10 @@ impl IndexStore {
         self.layout.meta
     }
 
-    /// Per-section name/offset/size information for inspection tooling.
+    /// Per-section name/offset/size information for inspection tooling
+    /// (7 sections for v3 files, 8 for v2).
     pub fn sections(&self) -> Vec<SectionInfo> {
-        self.layout.sections().to_vec()
+        self.layout.sections()
     }
 
     /// Which backing serves this store: `"mmap"` or `"heap"`.
@@ -238,6 +320,21 @@ impl IndexStore {
     /// deserialisation, for callers that want to drop the file).
     pub fn to_owned_parts(&self) -> (Graph, HighwayCoverIndex) {
         (self.graph().to_owned_graph(), self.index().to_owned_index())
+    }
+}
+
+/// Resolves the packed label-entry slice for a layout: straight from the
+/// backing for v3, from the conversion buffer for v2 — the single source
+/// of truth shared by open-time validation and the served view.
+fn packed_entries<'a>(
+    labels: &LabelRanges,
+    converted: &'a Option<Vec<u64>>,
+    bytes: &'a [u8],
+) -> &'a [u64] {
+    match (labels, converted) {
+        (LabelRanges::Packed { entries }, _) => cast_u64s(&bytes[entries.clone()]),
+        (LabelRanges::Split { .. }, Some(packed)) => packed,
+        (LabelRanges::Split { .. }, None) => unreachable!("split labels always convert at open"),
     }
 }
 

@@ -180,21 +180,93 @@ fn semantically_invalid_index_arrays_are_rejected() {
     let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 3 });
     let clean = hcl_store::serialize(&g, &idx).expect("serialize");
     let store = IndexStore::from_bytes(&clean).expect("clean loads");
-    let hubs = store
+    let entries = store
         .sections()
         .into_iter()
-        .find(|s| s.name == "label_hubs")
+        .find(|s| s.name == "label_entries")
         .expect("section present");
     drop(store);
 
     let mut bytes = clean.clone();
-    let at = hubs.offset as usize;
-    bytes[at..at + 4].copy_from_slice(&250u32.to_le_bytes()); // hub rank >= k
+    // Entries are packed u64s with the hub in the high 32 bits; a hub
+    // rank >= k in the first entry must be caught by semantic validation.
+    let at = entries.offset as usize + 4;
+    bytes[at..at + 4].copy_from_slice(&250u32.to_le_bytes());
     hcl_store::rewrite_checksum(&mut bytes);
     assert!(matches!(
         IndexStore::from_bytes(&bytes).unwrap_err(),
         StoreError::InvalidIndex(_)
     ));
+}
+
+/// The trusted path skips only the CRC pass. Payload bit rot that stays
+/// structurally plausible therefore gets through (the documented trade —
+/// wrong answers, never panics or UB), while every structural and
+/// semantic violation is still rejected with the same typed errors.
+#[test]
+fn trusted_mode_skips_exactly_the_checksum() {
+    let clean = sample_bytes();
+    assert!(IndexStore::from_bytes_trusted(&clean).is_ok());
+
+    // Flip a bit inside a label *distance* (low half of a packed entry):
+    // structurally valid, so the validated path must catch it via the CRC
+    // and the trusted path — by design — must not.
+    let store = IndexStore::from_bytes(&clean).expect("clean loads");
+    let entries = store
+        .sections()
+        .into_iter()
+        .find(|s| s.name == "label_entries")
+        .expect("section present");
+    drop(store);
+    let mut bytes = clean.clone();
+    bytes[entries.offset as usize] ^= 0x01;
+    assert!(matches!(
+        IndexStore::from_bytes(&bytes).unwrap_err(),
+        StoreError::ChecksumMismatch { .. }
+    ));
+    assert!(
+        IndexStore::from_bytes_trusted(&bytes).is_ok(),
+        "trusted mode must not pay for the CRC pass"
+    );
+
+    // Everything cheaper than the CRC still runs under trusted mode.
+    let mut bad_magic = clean.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        IndexStore::from_bytes_trusted(&bad_magic).unwrap_err(),
+        StoreError::BadMagic { .. }
+    ));
+    assert!(matches!(
+        IndexStore::from_bytes_trusted(&clean[..clean.len() / 2]).unwrap_err(),
+        StoreError::Truncated { .. }
+    ));
+    // Structural: misaligned section offset (checksum repaired, so only
+    // the geometry check can object).
+    let mut misaligned = clean.clone();
+    let entry = HEADER_LEN + 8;
+    let off = u64::from_le_bytes(misaligned[entry..entry + 8].try_into().unwrap());
+    misaligned[entry..entry + 8].copy_from_slice(&(off + 4).to_le_bytes());
+    hcl_store::rewrite_checksum(&mut misaligned);
+    assert!(matches!(
+        IndexStore::from_bytes_trusted(&misaligned).unwrap_err(),
+        StoreError::Corrupt { .. }
+    ));
+    // Semantic: out-of-range hub rank in the first packed entry.
+    let mut bad_hub = clean.clone();
+    let at = entries.offset as usize + 4;
+    bad_hub[at..at + 4].copy_from_slice(&250u32.to_le_bytes());
+    hcl_store::rewrite_checksum(&mut bad_hub);
+    assert!(matches!(
+        IndexStore::from_bytes_trusted(&bad_hub).unwrap_err(),
+        StoreError::InvalidIndex(_)
+    ));
+
+    // The trusted path also serves files on disk.
+    let mut path = std::env::temp_dir();
+    path.push(format!("hcl_store_trusted_{}.hcl", std::process::id()));
+    std::fs::write(&path, &clean).unwrap();
+    assert!(IndexStore::open_trusted(&path).is_ok());
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -130,9 +130,11 @@ fn serialization_is_deterministic_and_meta_is_accurate() {
     assert_eq!(meta.build, hcl_store::BuildInfo::default());
     assert_eq!(store.len_bytes(), a.len() as u64);
 
-    // Sections cover the advertised element counts.
+    // Sections cover the advertised element counts (7 in format v3:
+    // label hubs and distances are one packed section).
     let sections = store.sections();
-    assert_eq!(sections.len(), 8);
+    assert_eq!(sections.len(), 7);
+    assert!(sections.iter().any(|s| s.name == "label_entries"));
     let offsets = sections.iter().find(|s| s.name == "graph_offsets").unwrap();
     assert_eq!(offsets.len_bytes, (150 + 1) * 8);
     assert!(sections.iter().all(|s| s.offset % 8 == 0));
@@ -190,6 +192,78 @@ fn to_owned_parts_fully_deserialises() {
             );
         }
     }
+}
+
+/// Legacy v2 containers (split hub/dist label sections) must load through
+/// the converting reader and answer every query identically to the owned
+/// index — across all graph families and landmark counts, through both the
+/// in-memory and file open paths, validated and trusted alike.
+#[test]
+fn v2_containers_round_trip_through_the_converting_reader() {
+    for (name, g) in families() {
+        for k in [0usize, 1, 4, 16] {
+            let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+            let v2 = hcl_store::serialize_v2_with(&g, &idx, hcl_store::BuildInfo::default())
+                .expect("serialize v2");
+            let v3 = hcl_store::serialize(&g, &idx).expect("serialize v3");
+            assert_ne!(v2, v3, "{name} k={k}: versions must differ on disk");
+
+            let store = IndexStore::from_bytes(&v2).expect("v2 loads");
+            let meta = store.meta();
+            assert_eq!(meta.version, 2, "{name} k={k}");
+            assert_eq!(meta.label_entries, idx.stats().total_label_entries as u64);
+            let sections = store.sections();
+            assert_eq!(sections.len(), 8, "{name} k={k}: v2 has split sections");
+            assert!(sections.iter().any(|s| s.name == "label_hubs"));
+            assert!(sections.iter().any(|s| s.name == "label_dists"));
+            assert_store_matches_owned(&format!("{name} k={k} v2 bytes"), &g, &idx, &store);
+
+            // Same answers through a real file, both open modes.
+            let path = temp_path(&format!(
+                "v2_{}_{k}",
+                name.replace(['(', ')', ',', '.', '⊎', '+'], "_")
+            ));
+            std::fs::write(&path, &v2).expect("write v2 file");
+            let opened = IndexStore::open(&path).expect("open v2 file");
+            assert_store_matches_owned(&format!("{name} k={k} v2 file"), &g, &idx, &opened);
+            drop(opened);
+            let trusted = IndexStore::open_trusted(&path).expect("open_trusted v2 file");
+            assert_eq!(trusted.meta().version, 2);
+            assert_store_matches_owned(&format!("{name} k={k} v2 trusted"), &g, &idx, &trusted);
+            drop(trusted);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// The trusted open skips exactly the whole-file CRC pass: it must load
+/// pristine containers (agreeing with the validated open everywhere) and
+/// must *still* reject everything the structural and semantic validators
+/// catch.
+#[test]
+fn trusted_open_agrees_with_validated_open() {
+    let g = testkit::barabasi_albert(120, 3, 5);
+    let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 8 });
+    let path = temp_path("trusted");
+    hcl_store::save(&path, &g, &idx).expect("save");
+
+    let validated = IndexStore::open(&path).expect("open");
+    let trusted = IndexStore::open_trusted(&path).expect("open_trusted");
+    assert_eq!(validated.meta(), trusted.meta());
+    let mut ctx = QueryContext::new();
+    let mut ctx_t = QueryContext::new();
+    for (u, v) in [(0, 1), (5, 117), (42, 42), (119, 60), (3, 77)] {
+        assert_eq!(
+            validated
+                .index()
+                .query_with(validated.graph(), &mut ctx, u, v),
+            trusted
+                .index()
+                .query_with(trusted.graph(), &mut ctx_t, u, v),
+        );
+    }
+    drop((validated, trusted));
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
