@@ -2,11 +2,12 @@
 //! indexes.
 //!
 //! ```text
-//! hcl build <graph.edges> [--out FILE.hcl] [--landmarks K]
-//! hcl query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K])
-//!           [--queries FILE | --random N] [--seed S] [--workers W] [--verify]
-//! hcl serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K])
-//!           [--workers W]
+//! hcl build <graph.edges> [--out FILE.hcl] [--landmarks K] [--strategy S]
+//! hcl query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]
+//!           [--strategy S]) [--queries FILE | --random N] [--seed S]
+//!           [--workers W] [--verify]
+//! hcl serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]
+//!           [--strategy S]) [--workers W]
 //! hcl inspect <FILE.hcl>
 //! ```
 //!
@@ -32,7 +33,7 @@
 mod pool;
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
-use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext};
+use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext, SelectionStrategy};
 use hcl_store::IndexStore;
 use std::io::{BufRead, ErrorKind, IsTerminal, Write};
 use std::process::ExitCode;
@@ -42,16 +43,20 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
      \n\
      commands:\n\
        build <graph.edges> [--out FILE.hcl] [--landmarks K] [--threads T]\n\
-             [--batch B]\n\
+             [--batch B] [--strategy S]\n\
            Build the highway-cover index once and persist it (default\n\
            output: <graph.edges>.hcl). --threads shards the landmark\n\
            searches over T worker threads (default: HCL_BUILD_THREADS or\n\
            all available cores); the output is byte-identical at every\n\
            thread count. --batch sets landmarks per batch (advanced;\n\
-           changes the labelling shape, not its exactness).\n\
+           changes the labelling shape, not its exactness). --strategy\n\
+           picks how landmarks are chosen: degree-rank (default),\n\
+           approx-coverage[:seed], or seeded-random[:seed] (default:\n\
+           HCL_BUILD_STRATEGY, else degree-rank); the choice is recorded\n\
+           in the container header and shown by inspect.\n\
        query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
-             [--threads T]) [--queries FILE | --random N] [--seed S]\n\
-             [--workers W] [--verify]\n\
+             [--threads T] [--strategy S]) [--queries FILE | --random N]\n\
+             [--seed S] [--workers W] [--verify]\n\
            Answer `u v` distance queries. With --index the saved container\n\
            is memory-mapped and served zero-copy — no rebuild; --trusted\n\
            additionally skips the whole-file checksum pass (for files this\n\
@@ -62,7 +67,7 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            answers the workload on W threads sharing one index (0 = all\n\
            cores). --verify re-checks against a BFS oracle.\n\
        serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
-             [--threads T]) [--workers W]\n\
+             [--threads T] [--strategy S]) [--workers W]\n\
            Serving loop: read `u v` per line on stdin. With --workers 1\n\
            (default) answers are flushed per line; --workers W > 1 runs a\n\
            thread pool over the shared index, reading stdin in chunks and\n\
@@ -176,6 +181,40 @@ fn parse_or_usage<T: std::str::FromStr>(value: String, flag: &str) -> T {
     })
 }
 
+/// Parses a `--strategy name[:seed]` value, exiting with the detailed
+/// parse error (not the generic invalid-value line) on failure, since the
+/// strategy grammar is richer than a plain number.
+fn parse_strategy_or_usage(value: String) -> SelectionStrategy {
+    SelectionStrategy::parse(&value).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    })
+}
+
+/// Default landmark count when `--landmarks` is not passed.
+const DEFAULT_LANDMARKS: usize = 16;
+
+/// One-line heads-up when an **explicitly requested** landmark count is
+/// silently clamped: the index that gets built (and persisted) has fewer
+/// landmarks than asked for, which would otherwise only surface in
+/// inspect output much later. The built-in default clamping on small
+/// graphs is expected behaviour and stays quiet — the user never asked
+/// for 16.
+fn resolve_landmarks(requested: Option<usize>, n: usize) -> usize {
+    match requested {
+        Some(k) => {
+            if k > n {
+                eprintln!(
+                    "warning: requested {k} landmarks but the graph has {n} vertices; \
+                     building with {n}"
+                );
+            }
+            k
+        }
+        None => DEFAULT_LANDMARKS,
+    }
+}
+
 /// Builder thread count: explicit `--threads` wins, then the
 /// `HCL_BUILD_THREADS` environment variable, then every available core.
 /// The count never changes the built index, only how fast it appears.
@@ -274,13 +313,16 @@ impl Source {
 
     /// Loads and reports to stderr: either build-from-edge-list or
     /// mmap-from-container. `trusted` skips the container's whole-file
-    /// checksum pass (structural and semantic validation still run).
+    /// checksum pass (structural and semantic validation still run);
+    /// `selection` picks the landmark strategy for the build-from-edge-
+    /// list forms (`None` = `HCL_BUILD_STRATEGY`, else degree ranking).
     fn prepare(
         index_path: Option<&str>,
         graph_path: Option<&str>,
-        num_landmarks: usize,
+        num_landmarks: Option<usize>,
         threads: usize,
         trusted: bool,
+        selection: Option<SelectionStrategy>,
     ) -> Result<Self, String> {
         match (index_path, graph_path) {
             (Some(path), None) => {
@@ -315,15 +357,15 @@ impl Source {
                 let t0 = Instant::now();
                 let graph = load_graph(path)?;
                 let load_time = t0.elapsed();
+                let num_landmarks = resolve_landmarks(num_landmarks, graph.num_vertices());
+                let options = BuildOptions {
+                    num_landmarks,
+                    threads,
+                    batch_size: 0,
+                    selection,
+                };
                 let t1 = Instant::now();
-                let index = HighwayCoverIndex::build_with(
-                    &graph,
-                    &BuildOptions {
-                        num_landmarks,
-                        threads,
-                        batch_size: 0,
-                    },
-                );
+                let index = HighwayCoverIndex::build_with(&graph, &options);
                 let build_time = t1.elapsed();
                 let stats = index.stats();
                 eprintln!(
@@ -334,13 +376,14 @@ impl Source {
                 );
                 eprintln!(
                     "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), \
-                     {:.1} KiB, built in {:.1?} with {threads} thread(s)",
+                     {:.1} KiB, built in {:.1?} with {threads} thread(s), strategy {}",
                     stats.num_landmarks,
                     stats.total_label_entries,
                     stats.avg_label_size,
                     stats.max_label_size,
                     stats.bytes as f64 / 1024.0,
-                    build_time
+                    build_time,
+                    options.resolved_selection()
                 );
                 Ok(Source::Built { graph, index })
             }
@@ -359,15 +402,19 @@ impl Source {
 fn cmd_build(args: Vec<String>) -> Result<(), String> {
     let mut graph_path: Option<String> = None;
     let mut out_path: Option<String> = None;
-    let mut num_landmarks = 16usize;
+    let mut num_landmarks: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut batch_size = 0usize;
+    let mut selection: Option<SelectionStrategy> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" | "-o" => out_path = Some(next_value(&mut args, "--out")),
             "--landmarks" | "-k" => {
-                num_landmarks = parse_or_usage(next_value(&mut args, "--landmarks"), "--landmarks")
+                num_landmarks = Some(parse_or_usage(
+                    next_value(&mut args, "--landmarks"),
+                    "--landmarks",
+                ))
             }
             "--threads" | "-t" => {
                 threads = Some(parse_or_usage(
@@ -376,6 +423,9 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
                 ))
             }
             "--batch" => batch_size = parse_or_usage(next_value(&mut args, "--batch"), "--batch"),
+            "--strategy" | "-s" => {
+                selection = Some(parse_strategy_or_usage(next_value(&mut args, "--strategy")))
+            }
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -389,15 +439,16 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
         usage()
     });
     let out_path = out_path.unwrap_or_else(|| format!("{graph_path}.hcl"));
-    let options = BuildOptions {
-        num_landmarks,
-        threads: resolve_build_threads(threads),
-        batch_size,
-    };
 
     let t0 = Instant::now();
     let graph = load_graph(&graph_path)?;
     let load_time = t0.elapsed();
+    let options = BuildOptions {
+        num_landmarks: resolve_landmarks(num_landmarks, graph.num_vertices()),
+        threads: resolve_build_threads(threads),
+        batch_size,
+        selection,
+    };
     let t1 = Instant::now();
     let index = HighwayCoverIndex::build_with(&graph, &options);
     let build_time = t1.elapsed();
@@ -406,6 +457,7 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
     let build_info = hcl_store::BuildInfo {
         threads: options.threads as u32,
         batch_size: options.resolved_batch_size() as u32,
+        strategy: options.resolved_selection(),
     };
     let bytes = hcl_store::save_with(&out_path, &graph, &index, build_info)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
@@ -419,14 +471,15 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
     );
     eprintln!(
         "index: {} landmarks, {} label entries (avg {:.2}/vertex, max {}), built in {:.1?} \
-         with {} thread(s), batch {}",
+         with {} thread(s), batch {}, strategy {}",
         stats.num_landmarks,
         stats.total_label_entries,
         stats.avg_label_size,
         stats.max_label_size,
         build_time,
         build_info.threads,
-        build_info.batch_size
+        build_info.batch_size,
+        build_info.strategy
     );
     eprintln!(
         "wrote {out_path}: {bytes} bytes ({:.1} KiB) in {:.1?}",
@@ -448,6 +501,9 @@ struct QueryOptions {
     num_landmarks: Option<usize>,
     /// Same deal for `--threads` (build-time only).
     threads: Option<usize>,
+    /// And for `--strategy` (build-time only; the stored index already
+    /// has its landmarks).
+    strategy: Option<SelectionStrategy>,
     queries_path: Option<String>,
     random_queries: Option<usize>,
     seed: u64,
@@ -464,6 +520,7 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         graph_path: None,
         num_landmarks: None,
         threads: None,
+        strategy: None,
         queries_path: None,
         random_queries: None,
         seed: 0xC0FFEE,
@@ -486,6 +543,9 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
                     next_value(&mut args, "--threads"),
                     "--threads",
                 ))
+            }
+            "--strategy" => {
+                opts.strategy = Some(parse_strategy_or_usage(next_value(&mut args, "--strategy")))
             }
             "--queries" | "-q" => opts.queries_path = Some(next_value(&mut args, "--queries")),
             "--random" => {
@@ -515,8 +575,12 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         eprintln!("error: --queries and --random are mutually exclusive");
         usage();
     }
-    if opts.index_path.is_some() && (opts.num_landmarks.is_some() || opts.threads.is_some()) {
-        eprintln!("error: --landmarks/--threads only apply when building from an edge list");
+    if opts.index_path.is_some()
+        && (opts.num_landmarks.is_some() || opts.threads.is_some() || opts.strategy.is_some())
+    {
+        eprintln!(
+            "error: --landmarks/--threads/--strategy only apply when building from an edge list"
+        );
         usage();
     }
     if opts.trusted && opts.index_path.is_none() {
@@ -575,9 +639,10 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
     let source = Source::prepare(
         opts.index_path.as_deref(),
         opts.graph_path.as_deref(),
-        opts.num_landmarks.unwrap_or(16),
+        opts.num_landmarks,
         resolve_build_threads(opts.threads),
         opts.trusted,
+        opts.strategy,
     )?;
     let (graph, index) = source.views();
 
@@ -657,6 +722,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut graph_path: Option<String> = None;
     let mut num_landmarks: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut strategy: Option<SelectionStrategy> = None;
     let mut workers: Option<usize> = None;
     let mut trusted = false;
     let mut args = args.into_iter();
@@ -675,6 +741,9 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                     "--threads",
                 ))
             }
+            "--strategy" => {
+                strategy = Some(parse_strategy_or_usage(next_value(&mut args, "--strategy")))
+            }
             "--workers" | "-w" => {
                 workers = Some(parse_or_usage(
                     next_value(&mut args, "--workers"),
@@ -690,8 +759,11 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             }
         }
     }
-    if index_path.is_some() && (num_landmarks.is_some() || threads.is_some()) {
-        eprintln!("error: --landmarks/--threads only apply when building from an edge list");
+    if index_path.is_some() && (num_landmarks.is_some() || threads.is_some() || strategy.is_some())
+    {
+        eprintln!(
+            "error: --landmarks/--threads/--strategy only apply when building from an edge list"
+        );
         usage();
     }
     if trusted && index_path.is_none() {
@@ -701,9 +773,10 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let source = Source::prepare(
         index_path.as_deref(),
         graph_path.as_deref(),
-        num_landmarks.unwrap_or(16),
+        num_landmarks,
         resolve_build_threads(threads),
         trusted,
+        strategy,
     )?;
     let (graph, index) = source.views();
     let n = graph.num_vertices();
@@ -791,48 +864,67 @@ fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
     let meta = store.meta();
     let stats = store.index().stats();
 
-    println!("file:          {path}");
-    println!(
-        "size:          {} bytes ({:.1} KiB)",
-        meta.file_len,
-        meta.file_len as f64 / 1024.0
-    );
-    println!(
-        "format:        HCLSTOR v{} (checksum {:#018x}, verified)",
-        meta.version, meta.checksum
-    );
-    println!(
-        "backing:       {} (validated in {:.1?})",
-        store.backing_kind(),
-        load_time
-    );
-    println!("vertices:      {}", meta.num_vertices);
-    println!("edges:         {}", meta.num_edges);
-    println!("landmarks:     {}", meta.num_landmarks);
-    println!(
-        "label entries: {} (avg {:.2}/vertex, max {})",
-        meta.label_entries, stats.avg_label_size, stats.max_label_size
-    );
-    if meta.build == hcl_store::BuildInfo::default() {
-        println!("built with:    (unrecorded)");
-    } else {
-        println!(
-            "built with:    {} thread(s), landmark batch {}",
-            meta.build.threads, meta.build.batch_size
-        );
+    // Explicit writes instead of println!, so `hcl inspect … | head` is a
+    // clean early exit (the serve/query contract) rather than a panic.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let report = |out: &mut dyn Write| -> std::io::Result<()> {
+        writeln!(out, "file:          {path}")?;
+        writeln!(
+            out,
+            "size:          {} bytes ({:.1} KiB)",
+            meta.file_len,
+            meta.file_len as f64 / 1024.0
+        )?;
+        writeln!(
+            out,
+            "format:        HCLSTOR v{} (checksum {:#018x}, verified)",
+            meta.version, meta.checksum
+        )?;
+        writeln!(
+            out,
+            "backing:       {} (validated in {:.1?})",
+            store.backing_kind(),
+            load_time
+        )?;
+        writeln!(out, "vertices:      {}", meta.num_vertices)?;
+        writeln!(out, "edges:         {}", meta.num_edges)?;
+        writeln!(out, "landmarks:     {}", meta.num_landmarks)?;
+        // v2/v3 files predate recorded strategies and load as degree-rank.
+        writeln!(out, "strategy:      {}", meta.build.strategy)?;
+        writeln!(
+            out,
+            "label entries: {} (avg {:.2}/vertex, max {})",
+            meta.label_entries, stats.avg_label_size, stats.max_label_size
+        )?;
+        if meta.build == hcl_store::BuildInfo::default() {
+            writeln!(out, "built with:    (unrecorded)")?;
+        } else {
+            writeln!(
+                out,
+                "built with:    {} thread(s), landmark batch {}",
+                meta.build.threads, meta.build.batch_size
+            )?;
+        }
+        writeln!(out, "sections:")?;
+        for s in store.sections() {
+            writeln!(
+                out,
+                "  {:<16} {:>12} B @ {:<10} ({} B/elem, {} elems)",
+                s.name,
+                s.len_bytes,
+                s.offset,
+                s.elem_size,
+                s.len_bytes / s.elem_size as u64
+            )?;
+        }
+        out.flush()
+    };
+    match report(&mut out) {
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing output: {e}")),
+        Ok(()) => Ok(()),
     }
-    println!("sections:");
-    for s in store.sections() {
-        println!(
-            "  {:<16} {:>12} B @ {:<10} ({} B/elem, {} elems)",
-            s.name,
-            s.len_bytes,
-            s.offset,
-            s.elem_size,
-            s.len_bytes / s.elem_size as u64
-        );
-    }
-    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -286,6 +286,282 @@ fn query_survives_stdout_reader_closing() {
     );
 }
 
+/// And for `inspect`, which used to panic (`failed printing to stdout`)
+/// when its reader went away mid-report.
+#[test]
+fn inspect_survives_stdout_reader_closing() {
+    let scratch = Scratch::new("epipe_inspect");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n");
+    let index = scratch.path("g.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+
+    let mut child = hcl()
+        .arg("inspect")
+        .arg(&index)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn inspect");
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait");
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut err)
+        .expect("read stderr");
+    assert!(
+        status.success(),
+        "inspect must exit 0 on a closed stdout, stderr: {err}"
+    );
+    assert!(!err.contains("panicked"), "inspect panicked: {err}");
+}
+
+/// A landmark request larger than the graph must not be clamped
+/// *silently*: every subcommand that builds from an edge list (build,
+/// query, serve, and the legacy no-subcommand form) owes the user a
+/// one-line stderr warning naming both numbers.
+#[test]
+fn landmark_clamp_warns_on_every_subcommand() {
+    let scratch = Scratch::new("clamp");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n");
+    let index = scratch.path("g.hcl");
+    let expect_warned = |out: &Output, what: &str| {
+        let err = stderr_of(out);
+        assert!(
+            err.contains("warning: requested 99 landmarks but the graph has 3 vertices"),
+            "{what}: missing clamp warning in stderr: {err}"
+        );
+    };
+
+    let out = run_ok(
+        hcl()
+            .arg("build")
+            .arg(&graph)
+            .arg("--out")
+            .arg(&index)
+            .args(["--landmarks", "99"]),
+    );
+    expect_warned(&out, "build");
+
+    let queries = scratch.file("q.txt", "0 2\n");
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg(&graph)
+            .args(["--landmarks", "99", "--queries"])
+            .arg(&queries),
+    );
+    expect_warned(&out, "query");
+    assert_eq!(stdout_of(&out), "0 2 2\n");
+
+    let mut child = hcl()
+        .arg("serve")
+        .arg(&graph)
+        .args(["--landmarks", "99"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"0 1\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    expect_warned(&out, "serve");
+
+    // Legacy no-subcommand invocation.
+    let out = run_ok(
+        hcl()
+            .arg(&graph)
+            .args(["--landmarks", "99", "--queries"])
+            .arg(&queries),
+    );
+    expect_warned(&out, "legacy");
+
+    // And no warning when the request fits.
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg(&graph)
+            .args(["--landmarks", "2", "--queries"])
+            .arg(&queries),
+    );
+    // Scoped to the clamp warning: other warnings (e.g. an invalid
+    // HCL_BUILD_STRATEGY in the ambient environment) are legitimate.
+    assert!(
+        !stderr_of(&out).contains("warning: requested"),
+        "spurious clamp warning: {}",
+        stderr_of(&out)
+    );
+
+    // The implicit default (16) clamping on a small graph is expected
+    // behaviour, not a user mistake — no warning without --landmarks.
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg(&graph)
+            .arg("--queries")
+            .arg(&queries),
+    );
+    assert!(
+        !stderr_of(&out).contains("warning: requested"),
+        "default landmark count must clamp silently: {}",
+        stderr_of(&out)
+    );
+}
+
+/// The `num_landmarks = 0` degenerate case end to end: queries fall back
+/// to pure residual BFS (verified against the oracle), the container
+/// round-trips its empty landmark/highway sections, and pooled serving
+/// stays byte-identical to sequential serving.
+#[test]
+fn zero_landmarks_pipeline_round_trips_and_serves() {
+    let scratch = Scratch::new("zero_k");
+    // Two components, so both finite and `inf` answers flow through the
+    // landmark-free path.
+    let graph = scratch.file("g.edges", "0 1\n1 2\n2 3\n4 5\n5 6\n");
+    let index = scratch.path("g.hcl");
+    run_ok(
+        hcl()
+            .arg("build")
+            .arg(&graph)
+            .arg("--out")
+            .arg(&index)
+            .args(["--landmarks", "0"]),
+    );
+
+    let inspect = stdout_of(&run_ok(hcl().arg("inspect").arg(&index)));
+    assert!(inspect.contains("landmarks:     0"), "inspect: {inspect}");
+    assert!(inspect.contains("label entries: 0"), "inspect: {inspect}");
+
+    // Every answer must match the BFS oracle — pure residual fallback.
+    let queries = scratch.file("q.txt", "0 3\n0 0\n4 6\n0 6\n3 2\n");
+    let out = run_ok(
+        hcl()
+            .arg("query")
+            .arg("--index")
+            .arg(&index)
+            .arg("--verify")
+            .arg("--queries")
+            .arg(&queries),
+    );
+    assert_eq!(stdout_of(&out), "0 3 3\n0 0 0\n4 6 2\n0 6 inf\n3 2 1\n");
+
+    // Pooled serving over the zero-landmark index must stay byte-identical
+    // to the sequential path (several chunks' worth of input).
+    let mut input = String::new();
+    for i in 0..600u32 {
+        input.push_str(&format!("{} {}\n", i % 7, (i * 3 + 1) % 7));
+    }
+    let mut outputs = Vec::new();
+    for workers in ["1", "4"] {
+        let mut child = hcl()
+            .arg("serve")
+            .arg("--index")
+            .arg(&index)
+            .args(["--workers", workers])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("write");
+        let out = child.wait_with_output().expect("wait");
+        assert!(out.status.success(), "workers={workers}");
+        outputs.push(stdout_of(&out));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(
+        outputs[0], outputs[1],
+        "k=0 pooled serving must be byte-identical to sequential"
+    );
+}
+
+/// `--strategy` end to end: recorded in the container, shown by inspect,
+/// still answering exactly; rejected where it cannot apply.
+#[test]
+fn strategy_flag_is_recorded_and_validated() {
+    let scratch = Scratch::new("strategy");
+    let edges: String = (0..60u32)
+        .map(|i| format!("{} {}\n", i, (i * 11 + 1) % 60))
+        .collect();
+    let graph = scratch.file("g.edges", &edges);
+
+    for (flag, shown) in [
+        ("degree-rank", "degree-rank"),
+        ("approx-coverage:42", "approx-coverage:42"),
+        ("seeded-random", "seeded-random:0"),
+    ] {
+        let index = scratch.path(&format!("{}.hcl", flag.replace(':', "_")));
+        run_ok(
+            hcl()
+                .arg("build")
+                .arg(&graph)
+                .arg("--out")
+                .arg(&index)
+                .args(["--landmarks", "6", "--strategy", flag]),
+        );
+        let inspect = stdout_of(&run_ok(hcl().arg("inspect").arg(&index)));
+        assert!(
+            inspect.contains(&format!("strategy:      {shown}")),
+            "inspect must show `{shown}`: {inspect}"
+        );
+        // Whatever the landmarks, answers stay exact.
+        let out = run_ok(
+            hcl()
+                .arg("query")
+                .arg("--index")
+                .arg(&index)
+                .args(["--random", "200", "--verify"]),
+        );
+        assert!(stderr_of(&out).contains("all 200 answers match"));
+    }
+
+    // Unknown strategy name: usage error, not a build.
+    let out = hcl()
+        .arg("build")
+        .arg(&graph)
+        .args(["--strategy", "betweenness"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        stderr_of(&out).contains("unknown landmark-selection strategy"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+
+    // Build-time flag with a stored index: rejected like --landmarks.
+    let index = scratch.path("degree-rank.hcl");
+    for sub in ["query", "serve"] {
+        let out = hcl()
+            .arg(sub)
+            .arg("--index")
+            .arg(&index)
+            .args(["--strategy", "degree-rank"])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "{sub} must reject --strategy");
+        assert!(
+            stderr_of(&out).contains("only apply when building from an edge list"),
+            "{sub} stderr: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
 /// `--threads` must not change what gets served: byte-compare the section
 /// payloads of containers built sequentially and with 4 threads (their
 /// headers differ only in the recorded build metadata and checksum).

@@ -5,35 +5,13 @@
 //! with the sequential batch path. Workloads are sized past one pool
 //! chunk so the reorder machinery actually reorders.
 
-use hcl_core::{testkit, Graph, GraphBuilder};
+use hcl_core::{testkit, Graph};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
 
 fn hcl() -> Command {
     Command::new(env!("CARGO_BIN_EXE_hcl"))
-}
-
-/// The same eleven families the store round-trip suite uses.
-fn families() -> Vec<(String, Graph)> {
-    let mut isolated = GraphBuilder::new();
-    isolated.add_edge(0, 1).add_edge(1, 2).reserve_vertices(7);
-    vec![
-        ("empty".into(), GraphBuilder::new().build()),
-        ("single".into(), testkit::path(1)),
-        ("path(13)".into(), testkit::path(13)),
-        ("cycle(9)".into(), testkit::cycle(9)),
-        ("star(17)".into(), testkit::star(17)),
-        ("grid(4x5)".into(), testkit::grid(4, 5)),
-        ("er(40,0.08)".into(), testkit::erdos_renyi(40, 0.08, 3)),
-        ("er(40,0.02)".into(), testkit::erdos_renyi(40, 0.02, 1)),
-        ("ba(60,3)".into(), testkit::barabasi_albert(60, 3, 7)),
-        (
-            "grid⊎cycle".into(),
-            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
-        ),
-        ("path+isolated".into(), isolated.build()),
-    ]
 }
 
 /// Writes `g` as a `u v` edge list the CLI can rebuild. (Trailing isolated
@@ -118,7 +96,7 @@ fn run_with_stdin(cmd: &mut Command, stdin: &str) -> Output {
 #[test]
 fn serve_output_is_byte_identical_across_worker_counts() {
     let scratch = Scratch::new("serve");
-    for (name, g) in families() {
+    for (name, g) in testkit::families() {
         let slug = name.replace(['(', ')', ',', '.', '⊎', '+'], "_");
         let edges = scratch.0.join(format!("{slug}.edges"));
         std::fs::write(&edges, edge_list(&g)).expect("write edges");

@@ -276,6 +276,31 @@ impl<'a> GraphView<'a> {
         order
     }
 
+    /// The first `k` entries of [`GraphView::rank_by_degree`] without
+    /// sorting the whole vertex set: a partial selection
+    /// (`select_nth_unstable`) followed by a sort of just the top slice.
+    ///
+    /// The ranking key `(Reverse(degree), id)` is injective, so the top-`k`
+    /// set and its order are unique — this is **exactly**
+    /// `rank_by_degree()[..k]`, element for element, which the
+    /// degree-ranked landmark selection relies on for bit-for-bit
+    /// reproducible indexes. `O(n + k log k)` instead of `O(n log n)`.
+    pub fn top_k_by_degree(&self, k: usize) -> Vec<VertexId> {
+        let n = self.num_vertices();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let key = |v: &VertexId| (std::cmp::Reverse(self.degree(*v)), *v);
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        if k < n {
+            order.select_nth_unstable_by_key(k - 1, key);
+            order.truncate(k);
+        }
+        order.sort_unstable_by_key(key);
+        order
+    }
+
     /// The raw CSR offsets array (`n + 1` entries), e.g. for serialisation.
     pub fn csr_offsets(&self) -> &'a [u64] {
         self.offsets
@@ -374,6 +399,12 @@ impl Graph {
     /// ascending id. See [`GraphView::rank_by_degree`].
     pub fn rank_by_degree(&self) -> Vec<VertexId> {
         self.as_view().rank_by_degree()
+    }
+
+    /// The first `k` entries of the degree ranking via partial selection.
+    /// See [`GraphView::top_k_by_degree`].
+    pub fn top_k_by_degree(&self, k: usize) -> Vec<VertexId> {
+        self.as_view().top_k_by_degree(k)
     }
 
     /// The raw CSR offsets array (`n + 1` entries), e.g. for serialisation.
@@ -525,6 +556,32 @@ mod tests {
         assert_eq!(rank[1], 1); // degree 2, ties broken by id
         assert_eq!(rank[2], 2);
         assert_eq!(rank[3], 3);
+    }
+
+    #[test]
+    fn top_k_by_degree_equals_full_ranking_prefix() {
+        // Injective ranking key ⇒ the partial selection must reproduce the
+        // full sort's prefix exactly, for every k including 0, n, and > n.
+        let graphs = [
+            GraphBuilder::new().build(),
+            Graph::from_edges(&[(0, 1)]),
+            Graph::from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5), (5, 3)]),
+            {
+                // Many degree ties so the id tiebreak is actually exercised.
+                let mut b = GraphBuilder::new();
+                for v in 1..40u32 {
+                    b.add_edge(v - 1, v);
+                }
+                b.build()
+            },
+        ];
+        for g in &graphs {
+            let full = g.rank_by_degree();
+            for k in [0, 1, 2, 3, g.num_vertices() / 2, g.num_vertices(), 1000] {
+                let want = &full[..k.min(g.num_vertices())];
+                assert_eq!(g.top_k_by_degree(k), want, "k={k}");
+            }
+        }
     }
 
     #[test]

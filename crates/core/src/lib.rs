@@ -13,9 +13,14 @@
 //!   ground truth that the hub-labelling index in `hcl-index` is
 //!   property-tested against. They run over views, so mapped graphs verify
 //!   identically to owned ones.
+//! * [`rng`] — the seeded SplitMix64 generator. Its output stream is
+//!   **frozen**: seeded landmark selection records only `(strategy, seed)`
+//!   in the on-disk container, so the stream is part of that format
+//!   contract.
 //! * [`testkit`] — deterministic, seeded synthetic graph generators (paths,
-//!   cycles, stars, grids, Erdős–Rényi, Barabási–Albert) so every crate in
-//!   the workspace can write reproducible property tests.
+//!   cycles, stars, grids, Erdős–Rényi, Barabási–Albert) plus the shared
+//!   eleven-family property-test sweep, so every crate in the workspace
+//!   can write reproducible property tests.
 //! * [`bitset::DenseBitSet`] — a dense membership bitset for hot-path
 //!   "is this vertex in the small special set?" probes (one bit per
 //!   vertex instead of a 4-byte table load).
@@ -25,6 +30,7 @@
 pub mod bfs;
 pub mod bitset;
 pub mod graph;
+pub mod rng;
 pub mod testkit;
 
 pub use bitset::DenseBitSet;

@@ -63,6 +63,7 @@ fn main() {
             num_landmarks: NUM_LANDMARKS,
             threads,
             batch_size: 0,
+            selection: None,
         };
         let mut pool: Vec<BuildContext> = (0..threads).map(|_| BuildContext::new()).collect();
         let mut best_ns = u128::MAX;

@@ -40,6 +40,7 @@ mod state;
 pub(crate) mod parallel;
 pub(crate) mod sequential;
 
+use crate::select::{self, LandmarkSelector, SelectionStrategy};
 use crate::view::IndexView;
 use hcl_core::bfs::BfsScratch;
 use hcl_core::{Graph, VertexId};
@@ -83,6 +84,13 @@ pub struct BuildOptions {
     /// (batch-mates cannot prune against each other), so labels grow;
     /// `1` reproduces the fully sequential pruning order exactly.
     pub batch_size: usize,
+    /// Landmark-selection strategy. `None` means auto: the
+    /// `HCL_BUILD_STRATEGY` environment variable if set to a valid
+    /// `name[:seed]` spelling, otherwise
+    /// [`SelectionStrategy::DegreeRank`]. Unlike threads and batch size,
+    /// the strategy *shapes the output* (it decides which vertices anchor
+    /// the labelling), so persisted containers record it in their header.
+    pub selection: Option<SelectionStrategy>,
 }
 
 impl BuildOptions {
@@ -121,6 +129,15 @@ impl BuildOptions {
             Self::DEFAULT_BATCH_SIZE
         }
     }
+
+    /// The landmark-selection strategy this configuration resolves to:
+    /// the explicit [`BuildOptions::selection`] if set, else the
+    /// `HCL_BUILD_STRATEGY` environment variable, else degree ranking.
+    pub fn resolved_selection(&self) -> SelectionStrategy {
+        self.selection
+            .or_else(SelectionStrategy::from_env)
+            .unwrap_or_default()
+    }
 }
 
 impl Default for BuildOptions {
@@ -129,6 +146,7 @@ impl Default for BuildOptions {
             num_landmarks: IndexConfig::default().num_landmarks,
             threads: 0,
             batch_size: 0,
+            selection: None,
         }
     }
 }
@@ -266,14 +284,47 @@ impl HighwayCoverIndex {
     /// One worker runs per context, so `contexts.len()` — not
     /// [`BuildOptions::threads`] — is the thread count here, capped at the
     /// per-batch job count (extra workers could never receive work). An
-    /// empty slice builds sequentially with a temporary context.
+    /// empty slice builds sequentially with a temporary context. Landmarks
+    /// are chosen by [`BuildOptions::selection`] (resolved via
+    /// [`BuildOptions::resolved_selection`]).
     pub fn build_in(graph: &Graph, options: &BuildOptions, contexts: &mut [BuildContext]) -> Self {
+        let selector = options.resolved_selection().selector();
+        Self::build_in_with_selector(graph, options, contexts, selector.as_ref())
+    }
+
+    /// [`HighwayCoverIndex::build_in`] with a caller-supplied
+    /// [`LandmarkSelector`] — the fully pluggable entry point for
+    /// strategies beyond the built-in [`SelectionStrategy`] tags.
+    ///
+    /// `options.selection` is ignored here (the explicit `selector` wins);
+    /// everything else behaves as in [`HighwayCoverIndex::build_in`]. The
+    /// selector's output is validated (exactly `min(k, n)` distinct
+    /// in-range ids) and the build panics with a message naming the
+    /// selector if the contract is violated. In a *multi-threaded* build
+    /// the selector runs under the same worker-panic capture as the
+    /// landmark searches, so a faulty strategy surfaces as one coherent
+    /// `index build worker panicked: …` panic instead of the old opaque
+    /// join failure; a single-threaded build runs the selector inline,
+    /// where its panic already propagates coherently (original payload and
+    /// location) without wrapping.
+    pub fn build_in_with_selector(
+        graph: &Graph,
+        options: &BuildOptions,
+        contexts: &mut [BuildContext],
+        selector: &dyn LandmarkSelector,
+    ) -> Self {
         let graph = graph.as_view();
         let batch_size = options.resolved_batch_size();
-        let mut state = BuildState::new(graph, options.num_landmarks);
+        let num_landmarks = options.num_landmarks.min(graph.num_vertices());
         // Contexts beyond the per-batch job count could never receive
         // work; cap the pool so no idle worker threads get spawned.
-        let workers = contexts.len().min(batch_size).min(state.num_landmarks());
+        let workers = contexts.len().min(batch_size).min(num_landmarks);
+        let landmarks = if workers > 1 {
+            parallel::run_selection(graph, selector, num_landmarks)
+        } else {
+            select::checked_select(selector, graph, num_landmarks)
+        };
+        let mut state = BuildState::new(graph, landmarks);
         match &mut contexts[..workers] {
             [] => sequential::run(graph, &mut state, batch_size, &mut BuildContext::new()),
             [cx] => sequential::run(graph, &mut state, batch_size, cx),
@@ -330,7 +381,17 @@ mod tests {
     #[test]
     fn star_landmark_is_the_centre() {
         let g = testkit::star(10);
-        let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: 1 });
+        // Pin the strategy: this test asserts *degree-rank* behaviour, so
+        // it must not float with the HCL_BUILD_STRATEGY ambient default
+        // (a random selector is free to pick a leaf).
+        let idx = HighwayCoverIndex::build_with(
+            &g,
+            &BuildOptions {
+                num_landmarks: 1,
+                selection: Some(SelectionStrategy::DegreeRank),
+                ..BuildOptions::default()
+            },
+        );
         assert_eq!(idx.num_landmarks(), 1);
         assert!(idx.is_landmark(0));
         // Every leaf is labelled with the centre at distance 1.
@@ -391,6 +452,7 @@ mod tests {
             num_landmarks: 16,
             threads: 1,
             batch_size,
+            selection: None,
         };
         let tight = HighwayCoverIndex::build_with(&g, &opts(1));
         let batched = HighwayCoverIndex::build_with(&g, &opts(0));

@@ -14,8 +14,68 @@
 
 use super::state::{pruned_bfs, BuildState, LandmarkFragment};
 use super::BuildContext;
-use hcl_core::GraphView;
+use crate::select::{checked_select, LandmarkSelector};
+use hcl_core::{GraphView, VertexId};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::ScopedJoinHandle;
+
+/// Joins every handle, collecting the results; if any worker panicked,
+/// re-raises **after all workers are joined** as one coherent build panic.
+///
+/// Without this, a panicking worker used to surface as the driver's own
+/// `expect("build worker panicked")` — an opaque secondary panic that
+/// swallowed the worker's actual payload. String-ish payloads (the
+/// overwhelmingly common case: `panic!`, assertion failures, slice-index
+/// messages) are wrapped with build context; anything else is re-raised
+/// verbatim via `resume_unwind` so custom payloads still reach the caller.
+/// When several workers panic in one batch, the first (by spawn order)
+/// wins — one build failure, one report.
+fn join_workers<T>(handles: Vec<ScopedJoinHandle<'_, T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(value) => out.push(value),
+            Err(payload) => {
+                panicked.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = panicked {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        match msg {
+            Some(msg) => panic!("index build worker panicked: {msg}"),
+            None => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Runs landmark selection on a scoped worker thread, under the same
+/// [`join_workers`] capture-and-re-raise discipline as the batched
+/// searches.
+///
+/// Selection strategies are *pluggable* code — the one part of the build a
+/// caller can inject — so the multi-threaded driver gives their panics the
+/// same single coherent surfacing as any other build-worker panic.
+/// (Single-threaded builds run the selector inline instead: there a panic
+/// already reaches the caller with its original payload and location, so
+/// no wrapping is needed.)
+pub(crate) fn run_selection(
+    graph: GraphView<'_>,
+    selector: &dyn LandmarkSelector,
+    num_landmarks: usize,
+) -> Vec<VertexId> {
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || checked_select(selector, graph, num_landmarks));
+        join_workers(vec![handle])
+            .pop()
+            .expect("one selection worker, one result")
+    })
+}
 
 pub(crate) fn run(
     graph: GraphView<'_>,
@@ -47,10 +107,7 @@ pub(crate) fn run(
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("build worker panicked"))
-                .collect()
+            join_workers(handles).into_iter().flatten().collect()
         });
         frags.sort_unstable_by_key(|f| f.rank);
         for frag in frags {

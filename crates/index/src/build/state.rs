@@ -36,12 +36,12 @@ pub(crate) struct LandmarkFragment {
 }
 
 impl BuildState {
-    pub(crate) fn new(graph: GraphView<'_>, num_landmarks: usize) -> Self {
+    /// `landmarks` is the already-selected, already-validated landmark
+    /// list in rank order (see `select::checked_select`): the state layer
+    /// is strategy-agnostic.
+    pub(crate) fn new(graph: GraphView<'_>, landmarks: Vec<VertexId>) -> Self {
         let n = graph.num_vertices();
-        let k = num_landmarks.min(n);
-
-        let ranking = graph.rank_by_degree();
-        let landmarks: Vec<VertexId> = ranking[..k].to_vec();
+        let k = landmarks.len();
         let mut landmark_rank = vec![NOT_A_LANDMARK; n];
         for (rank, &v) in landmarks.iter().enumerate() {
             landmark_rank[v as usize] = rank as u32;

@@ -22,7 +22,11 @@
 //! rank-ordered batches, optionally sharded over scoped worker threads
 //! ([`BuildOptions`] / [`BuildContext`]); for a fixed batch size the built
 //! index is byte-identical at every thread count — see the `build` module
-//! docs for the visibility argument.
+//! docs for the visibility argument. *Which* vertices become landmarks is
+//! pluggable ([`LandmarkSelector`] / [`SelectionStrategy`]): degree
+//! ranking (the paper's default), greedy sampled-BFS coverage, or a seeded
+//! random baseline, each deterministic so the guarantee holds per
+//! strategy.
 //!
 //! Storage comes in two backings sharing one query engine:
 //!
@@ -42,8 +46,10 @@
 
 mod build;
 mod query;
+mod select;
 mod view;
 
 pub use build::{BuildContext, BuildOptions, HighwayCoverIndex, IndexConfig, IndexStats};
 pub use query::QueryContext;
+pub use select::{ApproxCoverage, DegreeRank, LandmarkSelector, SeededRandom, SelectionStrategy};
 pub use view::{pack_label_entry, unpack_label_entry, IndexDataError, IndexView};

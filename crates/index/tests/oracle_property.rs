@@ -3,7 +3,7 @@
 //! oracle — including `None` for disconnected pairs.
 
 use hcl_core::{bfs, testkit, Graph, INFINITY};
-use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+use hcl_index::{BuildOptions, HighwayCoverIndex, IndexConfig, QueryContext, SelectionStrategy};
 
 /// Exhaustively checks `index.query(u, v) == bfs_oracle(u, v)` for all
 /// pairs, for each landmark count in `ks`.
@@ -30,6 +30,52 @@ fn assert_matches_oracle(name: &str, g: &Graph, ks: &[usize]) {
 }
 
 const KS: &[usize] = &[0, 1, 2, 4, 16];
+
+/// Exactness is strategy-independent: whatever vertices a selector picks,
+/// every query must still equal the BFS oracle — the labelling and query
+/// engine may assume nothing about *why* a vertex is a landmark. All
+/// pairs over the shared eleven-family sweep (`testkit::families`), every
+/// built-in strategy, several landmark counts.
+#[test]
+fn every_strategy_matches_oracle_on_all_families() {
+    let strategies = [
+        SelectionStrategy::DegreeRank,
+        SelectionStrategy::ApproxCoverage { seed: 7 },
+        SelectionStrategy::SeededRandom { seed: 7 },
+    ];
+    for (name, g) in testkit::families() {
+        for strategy in strategies {
+            for &k in &[0usize, 2, 8] {
+                let idx = HighwayCoverIndex::build_with(
+                    &g,
+                    &BuildOptions {
+                        num_landmarks: k,
+                        threads: 1,
+                        batch_size: 0,
+                        selection: Some(strategy),
+                    },
+                );
+                let n = g.num_vertices() as u32;
+                let mut ctx = QueryContext::new();
+                for u in 0..n {
+                    let oracle = bfs::distances_from(&g, u);
+                    for v in 0..n {
+                        let expected = match oracle[v as usize] {
+                            INFINITY => None,
+                            d => Some(d),
+                        };
+                        assert_eq!(
+                            idx.query_with(&g, &mut ctx, u, v),
+                            expected,
+                            "{name}: query({u}, {v}) with k={k}, strategy {strategy} \
+                             disagrees with BFS oracle"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
 
 #[test]
 fn family_path() {

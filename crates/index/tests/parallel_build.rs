@@ -5,29 +5,10 @@
 //! sizes. This is the contract that lets `hcl build --threads N` persist
 //! byte-identical `.hcl` containers regardless of the machine it ran on.
 
-use hcl_core::{testkit, Graph, GraphBuilder};
-use hcl_index::{BuildContext, BuildOptions, HighwayCoverIndex};
-
-fn families() -> Vec<(String, Graph)> {
-    let mut isolated = GraphBuilder::new();
-    isolated.add_edge(0, 1).add_edge(1, 2).reserve_vertices(7);
-    vec![
-        ("empty".into(), GraphBuilder::new().build()),
-        ("single".into(), testkit::path(1)),
-        ("path(17)".into(), testkit::path(17)),
-        ("cycle(12)".into(), testkit::cycle(12)),
-        ("star(19)".into(), testkit::star(19)),
-        ("grid(5x6)".into(), testkit::grid(5, 6)),
-        ("er(48,0.08)".into(), testkit::erdos_renyi(48, 0.08, 3)),
-        ("er(48,0.02)".into(), testkit::erdos_renyi(48, 0.02, 1)),
-        ("ba(64,3)".into(), testkit::barabasi_albert(64, 3, 7)),
-        (
-            "grid⊎cycle".into(),
-            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
-        ),
-        ("path+isolated".into(), isolated.build()),
-    ]
-}
+use hcl_core::{testkit, GraphView, VertexId};
+use hcl_index::{
+    BuildContext, BuildOptions, HighwayCoverIndex, LandmarkSelector, SelectionStrategy,
+};
 
 /// Array-level equality of two built indexes (stronger than answer-level:
 /// the serialised container is a function of exactly these six arrays).
@@ -42,12 +23,13 @@ fn assert_identical(name: &str, a: &HighwayCoverIndex, b: &HighwayCoverIndex) {
 
 #[test]
 fn every_thread_count_builds_the_identical_index() {
-    for (name, g) in families() {
+    for (name, g) in testkit::families() {
         for k in [0usize, 1, 4, 16] {
             let opts = |threads| BuildOptions {
                 num_landmarks: k,
                 threads,
                 batch_size: 0,
+                selection: None,
             };
             let sequential = HighwayCoverIndex::build_with(&g, &opts(1));
             for threads in [2usize, 4, 8] {
@@ -70,6 +52,7 @@ fn batch_size_shapes_output_identically_across_thread_counts() {
             num_landmarks: 16,
             threads,
             batch_size,
+            selection: None,
         };
         let sequential = HighwayCoverIndex::build_with(&g, &opts(1));
         for threads in [2usize, 4, 8] {
@@ -91,6 +74,7 @@ fn build_in_reuses_contexts_across_builds() {
         num_landmarks: 8,
         threads: 4,
         batch_size: 0,
+        selection: None,
     };
     let mut pool: Vec<BuildContext> = (0..4).map(|_| BuildContext::new()).collect();
     for seed in 0..3 {
@@ -99,6 +83,107 @@ fn build_in_reuses_contexts_across_builds() {
         let reused = HighwayCoverIndex::build_in(&g, &opts, &mut pool);
         assert_identical(&format!("seed {seed}"), &fresh, &reused);
     }
+}
+
+#[test]
+fn every_strategy_is_thread_count_invariant() {
+    // The byte-identity guarantee must hold *per selection strategy*:
+    // selection runs once, deterministically, before the batched searches,
+    // so the thread count can never change which landmarks anchor the
+    // index — or anything downstream of them.
+    let strategies = [
+        SelectionStrategy::DegreeRank,
+        SelectionStrategy::ApproxCoverage { seed: 11 },
+        SelectionStrategy::SeededRandom { seed: 11 },
+    ];
+    for (name, g) in [
+        ("ba(64,3)", testkit::barabasi_albert(64, 3, 7)),
+        ("er(48,0.08)", testkit::erdos_renyi(48, 0.08, 3)),
+        (
+            "grid⊎cycle",
+            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
+        ),
+    ] {
+        for strategy in strategies {
+            let opts = |threads| BuildOptions {
+                num_landmarks: 8,
+                threads,
+                batch_size: 0,
+                selection: Some(strategy),
+            };
+            let sequential = HighwayCoverIndex::build_with(&g, &opts(1));
+            for threads in [2usize, 4, 8] {
+                let parallel = HighwayCoverIndex::build_with(&g, &opts(threads));
+                assert_identical(
+                    &format!("{name} {strategy} t={threads}"),
+                    &sequential,
+                    &parallel,
+                );
+            }
+        }
+    }
+}
+
+/// A selector that panics when consulted — the "poisoned" pluggable
+/// strategy case. It pins the worker-panic contract: the build must
+/// surface **one coherent panic carrying the worker's payload**, not the
+/// old opaque `join().expect("build worker panicked")` secondary panic.
+struct PoisonedSelector;
+
+impl LandmarkSelector for PoisonedSelector {
+    fn name(&self) -> &'static str {
+        "poisoned"
+    }
+
+    fn select(&self, _graph: GraphView<'_>, _k: usize) -> Vec<VertexId> {
+        panic!("selector poisoned on purpose")
+    }
+}
+
+#[test]
+fn worker_panics_reraise_as_one_coherent_build_panic() {
+    let g = testkit::barabasi_albert(40, 2, 3);
+    let opts = BuildOptions {
+        num_landmarks: 8,
+        threads: 4,
+        batch_size: 0,
+        selection: None,
+    };
+    // Quiet the panic banner for this *deliberate* panic only: a filtering
+    // hook that delegates everything else to the previous hook. Installed
+    // once and left in place — swapping the hook back mid-run would race
+    // with concurrently failing tests in this binary and could swallow
+    // their diagnostics.
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        if !msg.is_some_and(|m| m.contains("selector poisoned on purpose")) {
+            previous(info);
+        }
+    }));
+    let mut contexts: Vec<BuildContext> = (0..4).map(|_| BuildContext::new()).collect();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        HighwayCoverIndex::build_in_with_selector(&g, &opts, &mut contexts, &PoisonedSelector)
+    }));
+
+    let Err(payload) = result else {
+        panic!("poisoned selector must fail the build");
+    };
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("re-raised build panic carries a String payload");
+    assert!(
+        msg.contains("index build worker panicked"),
+        "missing build context in panic: {msg}"
+    );
+    assert!(
+        msg.contains("selector poisoned on purpose"),
+        "worker payload swallowed: {msg}"
+    );
 }
 
 #[test]
@@ -113,6 +198,7 @@ fn parallel_output_stays_exact_against_the_oracle() {
             num_landmarks: 12,
             threads: 4,
             batch_size: 0,
+            selection: None,
         },
     );
     let n = g.num_vertices() as u32;

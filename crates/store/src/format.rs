@@ -6,7 +6,7 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic "HCLSTOR1"
 //!      8     4  format version (u32 LE)
-//!     12     4  section count (u32 LE) — 7 in version 3, 8 in version 2
+//!     12     4  section count (u32 LE) — 7 in versions 3/4, 8 in version 2
 //!     16     8  total file length in bytes (u64 LE)
 //!     24     8  CRC-64/ECMA of the whole file with this field zeroed
 //!     32     8  num_vertices (u64 LE)
@@ -15,20 +15,28 @@
 //!     56     8  total label entries (u64 LE)
 //!     64     4  build metadata: builder worker threads (u32 LE, 0 = unrecorded)
 //!     68     4  build metadata: landmark batch size (u32 LE, 0 = unrecorded)
-//!     72     8  reserved build-metadata bytes (zeroed, ignored on read)
-//!     80  S·24  section table: {kind u32, elem_size u32, offset u64,
+//!     72     4  landmark-selection strategy tag (u32 LE, v4+; see
+//!               `SelectionStrategy::tag` — 0 = degree-rank)
+//!     76     4  reserved (zeroed, ignored on read)
+//!     80     8  landmark-selection strategy seed (u64 LE, v4+)
+//!     88     8  reserved (zeroed, ignored on read)
+//!     96  S·24  section table: {kind u32, elem_size u32, offset u64,
 //!               len_bytes u64} per section (S = section count)
 //!      …     …  sections, each 8-byte aligned, zero-padded between
 //! ```
 //!
-//! ## Version 3 (current) — packed label entries
+//! Versions 2 and 3 have an **80-byte header** (the table starts at 80;
+//! bytes 72..80 are reserved); version 4 grew it to 96 bytes to record the
+//! landmark-selection strategy.
 //!
-//! v3 stores each label entry as one `u64` — hub rank in the high 32
-//! bits, distance in the low 32 (`hcl-index`'s
+//! ## Packed label entries (v3+)
+//!
+//! v3 onwards stores each label entry as one `u64` — hub rank in the high
+//! 32 bits, distance in the low 32 (`hcl-index`'s
 //! [`pack_label_entry`](hcl_index::pack_label_entry)) — in a single
 //! `label_entries` section (kind 9, element size 8). That is exactly the
-//! in-memory layout of the query hot path, so a mapped v3 file serves with
-//! no decode step at all. The seven v3 sections, in canonical order:
+//! in-memory layout of the query hot path, so a mapped file serves with
+//! no decode step at all. The seven sections, in canonical order:
 //! `graph_offsets` (u64), `graph_neighbors` (u32), `landmarks` (u32),
 //! `landmark_rank` (u32), `label_offsets` (u64), `label_entries` (u64),
 //! `highway` (u32).
@@ -41,14 +49,20 @@
 //!   (kind 7).
 //! * v3: replaced the two label sections with the packed `label_entries`
 //!   section (kind 9).
+//! * v4: grew the header from 80 to 96 bytes, recording the
+//!   landmark-selection strategy tag and seed
+//!   ([`hcl_index::SelectionStrategy`]); sections unchanged from v3.
 //!
-//! This reader accepts **v2 and v3**. v2 files are served through a
+//! This reader accepts **v2, v3, and v4**. v2 files are served through a
 //! converting open: the two `u32` sections are packed once into an owned
 //! entry array at load (`O(entries)` time and `8·entries` bytes of heap;
-//! the rest of the file still serves zero-copy from the map). Writers
-//! always emit v3; [`serialize_v2_with`] exists so tests and migration
-//! tooling can fabricate legacy containers. Unknown versions are rejected
-//! with a typed error rather than mis-read.
+//! the rest of the file still serves zero-copy from the map). v2 and v3
+//! files predate recorded selection strategies and load as
+//! `SelectionStrategy::DegreeRank` — the only strategy that existed when
+//! they were written. Writers always emit v4; [`serialize_v2_with`] and
+//! [`serialize_v3_with`] exist so tests and migration tooling can
+//! fabricate legacy containers. Unknown versions are rejected with a
+//! typed error rather than mis-read.
 //!
 //! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
 //! all section offsets 8-byte aligned — which is exactly what lets a
@@ -62,23 +76,41 @@
 use crate::checksum::{crc64_finish, crc64_init, crc64_update};
 use crate::error::StoreError;
 use hcl_core::Graph;
-use hcl_index::{unpack_label_entry, HighwayCoverIndex};
+use hcl_index::{unpack_label_entry, HighwayCoverIndex, SelectionStrategy};
 use std::ops::Range;
 
 /// File magic: "HCLSTOR1".
 pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
-/// Format version this build writes (v3: packed `u64` label entries in a
-/// single section). Versions 2 and 3 are readable.
-pub const FORMAT_VERSION: u32 = 3;
+/// Format version this build writes (v4: 96-byte header recording the
+/// landmark-selection strategy, packed `u64` label entries in a single
+/// section). Versions 2 through 4 are readable.
+pub const FORMAT_VERSION: u32 = 4;
 /// Oldest format version this build still reads (v2: split
 /// `label_hubs`/`label_dists` sections, served through a converting open).
 pub const OLDEST_READABLE_VERSION: u32 = 2;
-/// Fixed header length in bytes.
-pub const HEADER_LEN: usize = 80;
+/// Header length in bytes of the **current** format version. Legacy v2/v3
+/// containers have [`LEGACY_HEADER_LEN`]-byte headers; use
+/// [`header_len`] when handling arbitrary readable versions.
+pub const HEADER_LEN: usize = 96;
+/// Header length in bytes of the legacy v2/v3 formats (also the minimum
+/// parseable prefix for any readable version).
+pub const LEGACY_HEADER_LEN: usize = 80;
 /// Byte offset of the checksum field inside the header.
 pub const CHECKSUM_OFFSET: usize = 24;
 /// Byte offset of the build-metadata block inside the header.
 const BUILD_META_OFFSET: usize = 64;
+/// Byte offsets of the v4 selection-strategy fields inside the header.
+const STRATEGY_TAG_OFFSET: usize = 72;
+const STRATEGY_SEED_OFFSET: usize = 80;
+
+/// Header length of a given readable format version.
+pub const fn header_len(version: u32) -> usize {
+    if version >= 4 {
+        HEADER_LEN
+    } else {
+        LEGACY_HEADER_LEN
+    }
+}
 
 const SECTION_ENTRY_LEN: usize = 24;
 /// Section counts per readable version.
@@ -88,7 +120,7 @@ const NUM_SECTIONS_V3: usize = 7;
 const MAX_SECTION_KINDS: usize = 9;
 
 /// Section kinds across all readable versions. Kinds 6/7 only appear in
-/// v2 files, kind 9 only in v3.
+/// v2 files, kind 9 in v3 and later.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum SectionKind {
@@ -153,7 +185,7 @@ impl SectionKind {
                 Self::LabelDists,
                 Self::Highway,
             ],
-            3 => &[
+            3 | 4 => &[
                 Self::GraphOffsets,
                 Self::GraphNeighbors,
                 Self::Landmarks,
@@ -168,12 +200,17 @@ impl SectionKind {
 }
 
 /// How an index was built, recorded in the container header's
-/// build-metadata bytes. Purely informational — it never affects how the
-/// file is served — but it lets `hcl inspect` and capacity tooling tell a
-/// sequential build from a sharded one and reproduce it.
+/// build-metadata bytes. It never affects how the file is *served*, but it
+/// makes a persisted index reproducible — same graph, same landmark count,
+/// same batch size, same selection strategy ⇒ byte-identical sections on
+/// any machine — and lets `hcl inspect` and capacity tooling tell builds
+/// apart.
 ///
-/// `0` in either field means "unrecorded" (e.g. a file written through the
-/// plain [`serialize`]/[`save`](crate::save) entry points).
+/// `0` in `threads`/`batch_size` means "unrecorded" (e.g. a file written
+/// through the plain [`serialize`]/[`save`](crate::save) entry points).
+/// The strategy field always holds a concrete value; v2/v3 files (and
+/// plain-serialize v4 files) carry [`SelectionStrategy::DegreeRank`], the
+/// only strategy that existed before v4.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BuildInfo {
     /// Worker threads the builder ran with.
@@ -181,13 +218,16 @@ pub struct BuildInfo {
     /// Landmarks per batch (the parameter that shapes the labelling; see
     /// `hcl-index`'s build docs).
     pub batch_size: u32,
+    /// Landmark-selection strategy (and its seed) the index was built
+    /// with. Recorded as a `(tag, seed)` pair in the v4 header.
+    pub strategy: SelectionStrategy,
 }
 
 /// Build and graph metadata recorded in the header, available without
 /// touching any section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Format version of the file (2 or 3; see the module docs).
+    /// Format version of the file (2, 3, or 4; see the module docs).
     pub version: u32,
     /// Total file length in bytes.
     pub file_len: u64,
@@ -304,14 +344,14 @@ impl Payload<'_> {
 }
 
 /// CRC-64 of the file with the header checksum field treated as zero.
+/// Version-independent: only the 8 checksum bytes are masked, so it works
+/// for every header length.
 pub(crate) fn file_checksum(bytes: &[u8]) -> u64 {
-    debug_assert!(bytes.len() >= HEADER_LEN);
-    let mut head = [0u8; HEADER_LEN];
-    head.copy_from_slice(&bytes[..HEADER_LEN]);
-    head[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
+    debug_assert!(bytes.len() >= LEGACY_HEADER_LEN);
     let mut state = crc64_init();
-    state = crc64_update(state, &head);
-    state = crc64_update(state, &bytes[HEADER_LEN..]);
+    state = crc64_update(state, &bytes[..CHECKSUM_OFFSET]);
+    state = crc64_update(state, &[0u8; 8]);
+    state = crc64_update(state, &bytes[CHECKSUM_OFFSET + 8..]);
     crc64_finish(state)
 }
 
@@ -338,18 +378,33 @@ pub fn serialize_with(
 }
 
 /// Serialises a graph and its index as a **legacy v2 container** (split
-/// `label_hubs`/`label_dists` sections).
+/// `label_hubs`/`label_dists` sections, 80-byte header).
 ///
 /// For compatibility tests and migration tooling only — it lets this build
 /// fabricate the files older readers expect, and lets the test suite prove
-/// the v2 → v3 converting open answers queries identically. New files
-/// should always be written through [`serialize`]/[`serialize_with`].
+/// the v2 converting open answers queries identically. New files should
+/// always be written through [`serialize`]/[`serialize_with`]. The
+/// `build.strategy` field is not representable before v4 and is ignored.
 pub fn serialize_v2_with(
     graph: &Graph,
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
     serialize_version(graph, index, build, 2)
+}
+
+/// Serialises a graph and its index as a **legacy v3 container** (packed
+/// label entries, 80-byte header without the selection-strategy fields).
+///
+/// Compatibility-test and migration tooling counterpart of
+/// [`serialize_v2_with`]; it lets the suite prove v3 files load with
+/// [`SelectionStrategy::DegreeRank`] reported. `build.strategy` is ignored.
+pub fn serialize_v3_with(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(graph, index, build, 3)
 }
 
 fn serialize_version(
@@ -401,8 +456,9 @@ fn serialize_version(
         SectionKind::table_for(version)
     );
 
+    let hlen = header_len(version);
     let num_sections = parts.len();
-    let table_end = HEADER_LEN + num_sections * SECTION_ENTRY_LEN;
+    let table_end = hlen + num_sections * SECTION_ENTRY_LEN;
     let mut out = vec![0u8; table_end];
     let mut entries: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(num_sections);
     for (kind, payload) in &parts {
@@ -416,7 +472,7 @@ fn serialize_version(
 
     // Section table.
     for (i, (kind, offset, len)) in entries.iter().enumerate() {
-        let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        let at = hlen + i * SECTION_ENTRY_LEN;
         out[at..at + 4].copy_from_slice(&(*kind as u32).to_le_bytes());
         out[at + 4..at + 8].copy_from_slice(&kind.elem_size().to_le_bytes());
         out[at + 8..at + 16].copy_from_slice(&offset.to_le_bytes());
@@ -436,7 +492,15 @@ fn serialize_version(
     out[BUILD_META_OFFSET..BUILD_META_OFFSET + 4].copy_from_slice(&build.threads.to_le_bytes());
     out[BUILD_META_OFFSET + 4..BUILD_META_OFFSET + 8]
         .copy_from_slice(&build.batch_size.to_le_bytes());
-    // Bytes 72..80 stay zero: reserved build metadata.
+    if version >= 4 {
+        // Selection strategy tag + seed; bytes 76..80 and 88..96 stay
+        // zero (reserved).
+        out[STRATEGY_TAG_OFFSET..STRATEGY_TAG_OFFSET + 4]
+            .copy_from_slice(&build.strategy.tag().to_le_bytes());
+        out[STRATEGY_SEED_OFFSET..STRATEGY_SEED_OFFSET + 8]
+            .copy_from_slice(&build.strategy.seed().to_le_bytes());
+    }
+    // In legacy versions bytes 72..80 stay zero: reserved build metadata.
     let crc = file_checksum(&out);
     out[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&crc.to_le_bytes());
     Ok(out)
@@ -468,14 +532,15 @@ fn corrupt(what: impl Into<String>) -> StoreError {
 
 /// Parses and validates the header and section table, returning the layout.
 ///
-/// Checks, in order: minimum length, magic, version (2 and 3 are
-/// readable), declared vs actual file length (truncation / trailing
-/// bytes), checksum (unless `verify_checksum` is false — the trusted-open
-/// path), then section-table geometry (version-appropriate kinds, element
-/// sizes, 8-byte alignment, in-bounds, non-overlapping) and element counts
-/// against the header metadata. Semantic validation of the array
-/// *contents* happens afterwards in `IndexStore` via `GraphView::from_csr`
-/// / `IndexView::from_parts`.
+/// Checks, in order: minimum length, magic, version (2 through 4 are
+/// readable), version-specific header length, declared vs actual file
+/// length (truncation / trailing bytes), checksum (unless
+/// `verify_checksum` is false — the trusted-open path), then section-table
+/// geometry (version-appropriate kinds, element sizes, 8-byte alignment,
+/// in-bounds, non-overlapping) and element counts against the header
+/// metadata. Semantic validation of the array *contents* happens
+/// afterwards in `IndexStore` via `GraphView::from_csr` /
+/// `IndexView::from_parts`.
 pub(crate) fn parse_and_validate(
     bytes: &[u8],
     verify_checksum: bool,
@@ -488,9 +553,11 @@ pub(crate) fn parse_and_validate(
             return Err(StoreError::BadMagic { found: magic });
         }
     }
-    if bytes.len() < HEADER_LEN {
+    // Every readable version has at least the legacy header; the version
+    // field (inside it) then decides how long this header really is.
+    if bytes.len() < LEGACY_HEADER_LEN {
         return Err(StoreError::Truncated {
-            expected: HEADER_LEN as u64,
+            expected: LEGACY_HEADER_LEN as u64,
             actual: bytes.len() as u64,
         });
     }
@@ -500,6 +567,13 @@ pub(crate) fn parse_and_validate(
             found: version,
             oldest_supported: OLDEST_READABLE_VERSION,
             supported: FORMAT_VERSION,
+        });
+    }
+    let hlen = header_len(version);
+    if bytes.len() < hlen {
+        return Err(StoreError::Truncated {
+            expected: hlen as u64,
+            actual: bytes.len() as u64,
         });
     }
     let file_len = u64_le(bytes, 16);
@@ -536,11 +610,21 @@ pub(crate) fn parse_and_validate(
              {section_count}"
         )));
     }
-    let table_end = HEADER_LEN + expected_sections * SECTION_ENTRY_LEN;
+    let table_end = hlen + expected_sections * SECTION_ENTRY_LEN;
     if bytes.len() < table_end {
         return Err(corrupt("section table extends past end of file"));
     }
 
+    // v2/v3 predate recorded selection strategies; degree ranking was the
+    // only one that existed, so that is what they load as.
+    let strategy = if version >= 4 {
+        let tag = u32_le(bytes, STRATEGY_TAG_OFFSET);
+        let seed = u64_le(bytes, STRATEGY_SEED_OFFSET);
+        SelectionStrategy::from_tag(tag, seed)
+            .ok_or_else(|| corrupt(format!("unknown landmark-selection strategy tag {tag}")))?
+    } else {
+        SelectionStrategy::DegreeRank
+    };
     let meta = StoreMeta {
         version,
         file_len,
@@ -552,15 +636,17 @@ pub(crate) fn parse_and_validate(
         build: BuildInfo {
             threads: u32_le(bytes, BUILD_META_OFFSET),
             batch_size: u32_le(bytes, BUILD_META_OFFSET + 4),
+            strategy,
         },
-        // The reserved bytes at 72..80 are deliberately not validated:
-        // a future writer may use them without breaking this reader.
+        // The reserved header bytes (72..80 in v2/v3; 76..80 and 88..96
+        // in v4) are deliberately not validated: a future writer may use
+        // them without breaking this reader.
     };
 
     let mut ranges: [Option<Range<usize>>; MAX_SECTION_KINDS] = Default::default();
     let mut spans: Vec<(u64, u64)> = Vec::with_capacity(expected_sections);
     for i in 0..expected_sections {
-        let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        let at = hlen + i * SECTION_ENTRY_LEN;
         let kind_raw = u32_le(bytes, at);
         let kind = SectionKind::from_u32(kind_raw)
             .filter(|k| allowed.contains(k))

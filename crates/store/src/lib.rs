@@ -51,9 +51,13 @@ mod format;
 pub use checksum::crc64;
 pub use error::StoreError;
 pub use format::{
-    rewrite_checksum, serialize, serialize_v2_with, serialize_with, BuildInfo, SectionInfo,
-    StoreMeta, FORMAT_VERSION, HEADER_LEN, MAGIC, OLDEST_READABLE_VERSION,
+    header_len, rewrite_checksum, serialize, serialize_v2_with, serialize_v3_with, serialize_with,
+    BuildInfo, SectionInfo, StoreMeta, FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC,
+    OLDEST_READABLE_VERSION,
 };
+// The strategy type recorded in [`BuildInfo`] lives in `hcl-index`;
+// re-exported so store-level tooling does not need the extra import.
+pub use hcl_index::SelectionStrategy;
 
 use backing::{cast_u32s, cast_u64s, AlignedBuf, Backing};
 use format::{LabelRanges, Layout};

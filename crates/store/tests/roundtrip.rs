@@ -2,32 +2,10 @@
 //! in-memory index on every testkit graph family, for both the mmap and
 //! heap backings.
 
-use hcl_core::{testkit, Graph, GraphBuilder};
+use hcl_core::{testkit, Graph};
 use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
 use hcl_store::IndexStore;
 use std::path::PathBuf;
-
-fn families() -> Vec<(String, Graph)> {
-    let mut isolated = GraphBuilder::new();
-    isolated.add_edge(0, 1).add_edge(1, 2).reserve_vertices(7);
-    vec![
-        ("empty".into(), GraphBuilder::new().build()),
-        ("single".into(), testkit::path(1)),
-        ("path(13)".into(), testkit::path(13)),
-        ("cycle(9)".into(), testkit::cycle(9)),
-        ("star(17)".into(), testkit::star(17)),
-        ("grid(4x5)".into(), testkit::grid(4, 5)),
-        ("er(40,0.08)".into(), testkit::erdos_renyi(40, 0.08, 3)),
-        // Sparse ER: fragmented, exercises unreachable pairs.
-        ("er(40,0.02)".into(), testkit::erdos_renyi(40, 0.02, 1)),
-        ("ba(60,3)".into(), testkit::barabasi_albert(60, 3, 7)),
-        (
-            "grid⊎cycle".into(),
-            testkit::disjoint_union(&testkit::grid(3, 3), &testkit::cycle(5)),
-        ),
-        ("path+isolated".into(), isolated.build()),
-    ]
-}
 
 fn temp_path(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -58,7 +36,7 @@ fn assert_store_matches_owned(name: &str, g: &Graph, idx: &HighwayCoverIndex, st
 
 #[test]
 fn save_load_query_equals_in_memory_on_all_families() {
-    for (name, g) in families() {
+    for (name, g) in testkit::families() {
         for k in [0usize, 1, 4, 16] {
             let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
 
@@ -146,6 +124,7 @@ fn build_metadata_round_trips_through_the_header() {
     let info = hcl_store::BuildInfo {
         threads: 4,
         batch_size: 8,
+        strategy: hcl_store::SelectionStrategy::DegreeRank,
     };
     // Build with the recorded parameters so the header tells the truth.
     let idx = HighwayCoverIndex::build_with(
@@ -154,6 +133,7 @@ fn build_metadata_round_trips_through_the_header() {
             num_landmarks: 8,
             threads: info.threads as usize,
             batch_size: info.batch_size as usize,
+            selection: Some(info.strategy),
         },
     );
 
@@ -200,17 +180,22 @@ fn to_owned_parts_fully_deserialises() {
 /// in-memory and file open paths, validated and trusted alike.
 #[test]
 fn v2_containers_round_trip_through_the_converting_reader() {
-    for (name, g) in families() {
+    for (name, g) in testkit::families() {
         for k in [0usize, 1, 4, 16] {
             let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
             let v2 = hcl_store::serialize_v2_with(&g, &idx, hcl_store::BuildInfo::default())
                 .expect("serialize v2");
-            let v3 = hcl_store::serialize(&g, &idx).expect("serialize v3");
-            assert_ne!(v2, v3, "{name} k={k}: versions must differ on disk");
+            let current = hcl_store::serialize(&g, &idx).expect("serialize current");
+            assert_ne!(v2, current, "{name} k={k}: versions must differ on disk");
 
             let store = IndexStore::from_bytes(&v2).expect("v2 loads");
             let meta = store.meta();
             assert_eq!(meta.version, 2, "{name} k={k}");
+            assert_eq!(
+                meta.build.strategy,
+                hcl_store::SelectionStrategy::DegreeRank,
+                "{name} k={k}: v2 must report the degree-rank default"
+            );
             assert_eq!(meta.label_entries, idx.stats().total_label_entries as u64);
             let sections = store.sections();
             assert_eq!(sections.len(), 8, "{name} k={k}: v2 has split sections");
@@ -264,6 +249,90 @@ fn trusted_open_agrees_with_validated_open() {
     }
     drop((validated, trusted));
     std::fs::remove_file(&path).ok();
+}
+
+/// The v4 header must round-trip the landmark-selection strategy and its
+/// seed — through bytes, a saved file, and the trusted open — for every
+/// built-in strategy on every graph family, while the served answers stay
+/// equal to the owned index that was actually built with that strategy.
+#[test]
+fn v4_header_round_trips_strategy_and_seed_on_all_families() {
+    use hcl_store::SelectionStrategy;
+    let strategies = [
+        SelectionStrategy::DegreeRank,
+        SelectionStrategy::ApproxCoverage { seed: 42 },
+        SelectionStrategy::SeededRandom {
+            seed: 0xFEED_F00D_DEAD_BEEF,
+        },
+    ];
+    for (name, g) in testkit::families() {
+        for strategy in strategies {
+            let idx = HighwayCoverIndex::build_with(
+                &g,
+                &hcl_index::BuildOptions {
+                    num_landmarks: 4,
+                    threads: 1,
+                    batch_size: 0,
+                    selection: Some(strategy),
+                },
+            );
+            let info = hcl_store::BuildInfo {
+                threads: 1,
+                batch_size: 8,
+                strategy,
+            };
+            let bytes = hcl_store::serialize_with(&g, &idx, info).expect("serialize");
+            let store = IndexStore::from_bytes(&bytes).expect("v4 loads");
+            assert_eq!(store.meta().version, hcl_store::FORMAT_VERSION);
+            assert_eq!(store.meta().build.strategy, strategy, "{name}");
+            assert_store_matches_owned(&format!("{name} {strategy}"), &g, &idx, &store);
+
+            let path = temp_path(&format!(
+                "v4_{}_{}",
+                name.replace(['(', ')', ',', '.', '⊎', '+'], "_"),
+                strategy.tag()
+            ));
+            hcl_store::save_with(&path, &g, &idx, info).expect("save_with");
+            let opened = IndexStore::open(&path).expect("open v4");
+            assert_eq!(opened.meta().build.strategy, strategy, "{name} file");
+            drop(opened);
+            let trusted = IndexStore::open_trusted(&path).expect("open_trusted v4");
+            assert_eq!(trusted.meta().build.strategy, strategy, "{name} trusted");
+            assert_store_matches_owned(&format!("{name} {strategy} trusted"), &g, &idx, &trusted);
+            drop(trusted);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Legacy v3 containers (80-byte header, no strategy fields) must keep
+/// loading — reported as `DegreeRank`, the only strategy that existed
+/// when they were written — with answers identical to the owned index.
+#[test]
+fn v3_containers_load_as_degree_rank() {
+    for (name, g) in testkit::families() {
+        for k in [0usize, 4] {
+            let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+            let v3 = hcl_store::serialize_v3_with(&g, &idx, hcl_store::BuildInfo::default())
+                .expect("serialize v3");
+            let v4 = hcl_store::serialize(&g, &idx).expect("serialize v4");
+            assert_ne!(v3, v4, "{name} k={k}: versions must differ on disk");
+
+            let store = IndexStore::from_bytes(&v3).expect("v3 loads");
+            assert_eq!(store.meta().version, 3, "{name} k={k}");
+            assert_eq!(
+                store.meta().build.strategy,
+                hcl_store::SelectionStrategy::DegreeRank,
+                "{name} k={k}: v3 must report the degree-rank default"
+            );
+            assert_store_matches_owned(&format!("{name} k={k} v3"), &g, &idx, &store);
+            let trusted = IndexStore::from_bytes_trusted(&v3).expect("v3 trusted");
+            assert_eq!(
+                trusted.meta().build.strategy,
+                hcl_store::SelectionStrategy::DegreeRank
+            );
+        }
+    }
 }
 
 #[test]
