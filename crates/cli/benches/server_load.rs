@@ -1,0 +1,321 @@
+//! Load-generator benchmark for `hcl serve --listen`: spawns the real
+//! binary on an ephemeral port, drives it with persistent-connection
+//! client threads, and reports client-side p50/p99 latency plus
+//! throughput across a `--max-inflight` sweep, with one configuration
+//! run while the index is repeatedly hot-reloaded underneath the load.
+//! Results go to `BENCH_pr6.json` at the repo root. Runs under
+//! `cargo bench` (plain std::time harness; no criterion in the
+//! container), `HCL_BENCH_SCALE=small` shrinks everything for CI smoke.
+//!
+//! The JSON records `available_parallelism`: on a single-core runner the
+//! client threads and server handlers all time-share one CPU, so the
+//! percentiles measure scheduling latency as much as query latency —
+//! interpret them against that field.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0x6E57;
+
+struct Scale {
+    vertices: usize,
+    requests_per_client: usize,
+    clients: usize,
+    max_inflight_sweep: &'static [usize],
+    reload_swaps: usize,
+}
+
+// The sweep floor equals `clients`: with fewer admission slots than
+// persistent connections the surplus clients would be busy-rejected
+// outright (correct server behaviour, but not a latency measurement).
+const FULL: Scale = Scale {
+    vertices: 20_000,
+    requests_per_client: 4_000,
+    clients: 4,
+    max_inflight_sweep: &[4, 64, 1024],
+    reload_swaps: 20,
+};
+
+const SMALL: Scale = Scale {
+    vertices: 1_000,
+    requests_per_client: 300,
+    clients: 2,
+    max_inflight_sweep: &[2, 1024],
+    reload_swaps: 5,
+};
+
+fn hcl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcl"))
+}
+
+fn build_index(dir: &Path, tag: &str, edges_path: &Path, landmarks: usize) -> PathBuf {
+    let out = dir.join(format!("{tag}.hcl"));
+    let status = hcl()
+        .arg("build")
+        .arg(edges_path)
+        .arg("--out")
+        .arg(&out)
+        .args(["--landmarks", &landmarks.to_string()])
+        .status()
+        .expect("spawn hcl build");
+    assert!(status.success(), "hcl build failed for {tag}");
+    out
+}
+
+/// Spawns `serve --listen 127.0.0.1:0` and returns the child plus the
+/// bound address parsed from its `listening on …` stderr line.
+fn spawn_server(index: &Path, max_inflight: usize) -> (Child, String) {
+    let mut child = hcl()
+        .arg("serve")
+        .arg("--index")
+        .arg(index)
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--max-inflight", &max_inflight.to_string()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let stderr = child.stderr.take().unwrap();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stderr);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if let Some(rest) = line.strip_prefix("listening on ") {
+                        let _ = tx.send(rest.split_whitespace().next().unwrap().to_string());
+                    }
+                }
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("server never printed its listen address");
+    (child, addr)
+}
+
+fn http_get(addr: &str, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    raw
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * q).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1_000.0
+}
+
+struct RunResult {
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    requests: usize,
+    elapsed: Duration,
+}
+
+/// Runs `clients` persistent connections, each issuing
+/// `requests_per_client` request-response queries, and aggregates the
+/// client-observed latencies.
+fn run_load(addr: &str, n: usize, clients: usize, requests_per_client: usize) -> RunResult {
+    let all: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let all = Arc::clone(&all);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("client connect");
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut rng = hcl_core::testkit::SplitMix64::new(SEED ^ (c as u64) << 17);
+                let mut lat = Vec::with_capacity(requests_per_client);
+                let mut answer = String::new();
+                for _ in 0..requests_per_client {
+                    let u = rng.next_below(n as u64);
+                    let v = rng.next_below(n as u64);
+                    let t = Instant::now();
+                    writer
+                        .write_all(format!("{u} {v}\n").as_bytes())
+                        .expect("request write");
+                    answer.clear();
+                    reader.read_line(&mut answer).expect("answer read");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                    assert!(!answer.is_empty(), "server hung up mid-run");
+                }
+                all.lock().unwrap().extend_from_slice(&lat);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let elapsed = t0.elapsed();
+    let mut ns = Arc::try_unwrap(all).unwrap().into_inner().unwrap();
+    ns.sort_unstable();
+    let requests = ns.len();
+    let mean_us = ns.iter().sum::<u64>() as f64 / requests.max(1) as f64 / 1_000.0;
+    RunResult {
+        p50_us: percentile_us(&ns, 0.50),
+        p99_us: percentile_us(&ns, 0.99),
+        mean_us,
+        requests,
+        elapsed,
+    }
+}
+
+fn shut_down(mut child: Child) {
+    drop(child.stdin.take()); // stdin EOF → graceful drain
+    let t0 = Instant::now();
+    loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        if t0.elapsed() > Duration::from_secs(60) {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("server did not drain within 60s");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn main() {
+    let small = std::env::var("HCL_BENCH_SCALE").as_deref() == Ok("small");
+    let scale = if small { SMALL } else { FULL };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let dir = std::env::temp_dir().join(format!("hcl_server_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let t = Instant::now();
+    let g = hcl_core::testkit::barabasi_albert(scale.vertices, 4, SEED);
+    let n = g.num_vertices();
+    let mut edges = String::new();
+    for u in 0..n as u32 {
+        for &w in g.as_view().neighbors(u) {
+            if w > u {
+                edges.push_str(&format!("{u} {w}\n"));
+            }
+        }
+    }
+    let edges_path = dir.join("bench.edges");
+    std::fs::write(&edges_path, &edges).expect("write edge list");
+    let gen_a = build_index(&dir, "gen_a", &edges_path, 16);
+    let gen_b = build_index(&dir, "gen_b", &edges_path, 32);
+    eprintln!(
+        "bench graph: {} vertices, {} edges; two generations built in {:.1?}",
+        n,
+        g.num_edges(),
+        t.elapsed()
+    );
+
+    // --- max-inflight sweep -------------------------------------------------
+    let mut sweep_rows: Vec<String> = Vec::new();
+    for &max_inflight in scale.max_inflight_sweep {
+        let live = dir.join("live.hcl");
+        std::fs::copy(&gen_a, &live).expect("seed live index");
+        let (child, addr) = spawn_server(&live, max_inflight);
+        let r = run_load(&addr, n, scale.clients, scale.requests_per_client);
+        shut_down(child);
+        let rps = r.requests as f64 / r.elapsed.as_secs_f64();
+        eprintln!(
+            "max-inflight {max_inflight}: {} requests from {} clients in {:.1?} \
+             ({rps:.0} req/s) p50={:.1}µs p99={:.1}µs mean={:.1}µs",
+            r.requests, scale.clients, r.elapsed, r.p50_us, r.p99_us, r.mean_us
+        );
+        sweep_rows.push(format!(
+            "{{\"max_inflight\": {max_inflight}, \"clients\": {}, \"requests\": {}, \
+             \"elapsed_ms\": {:.1}, \"req_per_sec\": {rps:.0}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"mean_us\": {:.1}}}",
+            scale.clients,
+            r.requests,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.p50_us,
+            r.p99_us,
+            r.mean_us
+        ));
+    }
+
+    // --- reload churn under load --------------------------------------------
+    let live = dir.join("live.hcl");
+    std::fs::copy(&gen_a, &live).expect("seed live index");
+    let (child, addr) = spawn_server(&live, 1024);
+    let reload_addr = addr.clone();
+    let reload_dir = dir.clone();
+    let (gen_a2, gen_b2) = (gen_a.clone(), gen_b.clone());
+    let swaps = scale.reload_swaps;
+    let reloader = std::thread::spawn(move || {
+        let live = reload_dir.join("live.hcl");
+        for i in 0..swaps {
+            let src = if i % 2 == 0 { &gen_b2 } else { &gen_a2 };
+            let tmp = reload_dir.join("live.swap.tmp");
+            std::fs::copy(src, &tmp).expect("stage generation");
+            std::fs::rename(&tmp, &live).expect("publish generation");
+            let response = http_get(&reload_addr, "/reload");
+            assert!(
+                response.starts_with("HTTP/1.1 200"),
+                "reload failed: {response}"
+            );
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    });
+    let r = run_load(&addr, n, scale.clients, scale.requests_per_client);
+    reloader.join().expect("reload thread panicked");
+    let metrics = http_get(&addr, "/metrics");
+    let reloads: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("hcl_reloads_total")?.trim().parse().ok())
+        .expect("hcl_reloads_total missing");
+    shut_down(child);
+    assert_eq!(reloads as usize, swaps, "not every reload landed");
+    let rps = r.requests as f64 / r.elapsed.as_secs_f64();
+    eprintln!(
+        "reload churn ({swaps} swaps): {} requests in {:.1?} ({rps:.0} req/s) \
+         p50={:.1}µs p99={:.1}µs",
+        r.requests, r.elapsed, r.p50_us, r.p99_us
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6_server_load\",\n  \"available_parallelism\": {cores},\n  \
+         \"scale\": \"{}\",\n  \"graph\": {{\"family\": \"barabasi_albert\", \"vertices\": {n}, \
+         \"edges\": {}, \"m\": 4, \"seed\": {SEED}}},\n  \
+         \"requests_per_client\": {},\n  \"sweep\": [\n    {}\n  ],\n  \
+         \"reload_churn\": {{\"swaps\": {swaps}, \"clients\": {}, \"requests\": {}, \
+         \"elapsed_ms\": {:.1}, \"req_per_sec\": {rps:.0}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"mean_us\": {:.1}}}\n}}\n",
+        if small { "small" } else { "full" },
+        g.num_edges(),
+        scale.requests_per_client,
+        sweep_rows.join(",\n    "),
+        scale.clients,
+        r.requests,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.p50_us,
+        r.p99_us,
+        r.mean_us
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    std::fs::write(out_path, &json).expect("writing BENCH_pr6.json");
+    eprintln!("wrote {out_path}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,7 +30,9 @@
 //! machine-readable. `--verify` re-checks every answer against the BFS
 //! oracle, regardless of backing.
 
+mod metrics;
 mod pool;
+mod server;
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
 use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext, SelectionStrategy};
@@ -67,14 +69,26 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            answers the workload on W threads sharing one index (0 = all\n\
            cores). --verify re-checks against a BFS oracle.\n\
        serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
-             [--threads T] [--strategy S]) [--workers W]\n\
+             [--threads T] [--strategy S]) [--workers W] [--listen ADDR]\n\
+             [--max-inflight N] [--write-timeout-ms MS]\n\
+             [--reload-signal hup|usr1|none]\n\
            Serving loop: read `u v` per line on stdin. With --workers 1\n\
            (default) answers are flushed per line; --workers W > 1 runs a\n\
            thread pool over the shared index, reading stdin in chunks and\n\
            writing answers in input order (byte-identical to --workers 1,\n\
            flushed per chunk — a throughput mode; 0 = all cores). Bad\n\
            lines are reported and skipped; a closed stdout (e.g. `| head`)\n\
-           is a clean shutdown.\n\
+           is a clean shutdown. Both modes end with a latency summary\n\
+           (p50/p90/p99/mean) on stderr.\n\
+           --listen ADDR serves sockets instead of stdin: newline `u v`\n\
+           requests answered as `u v d` lines, plus HTTP GET /query?s=&t=,\n\
+           /healthz, /metrics, and /reload (zero-downtime generation swap\n\
+           of the --index file; also triggered by --reload-signal, default\n\
+           hup). --workers handler threads (default: all cores) serve one\n\
+           connection each; beyond --max-inflight queued connections\n\
+           (default 1024) new connects are rejected busy; answers that\n\
+           stall past --write-timeout-ms (default 30000) drop that\n\
+           connection. SIGTERM/SIGINT or stdin EOF drains gracefully.\n\
        inspect <FILE.hcl>\n\
            Print header metadata, build statistics, and the section table.\n\
      \n\
@@ -391,6 +405,23 @@ impl Source {
                 "pass either --index or an edge-list path, not both (got `{g}` too)"
             )),
             (None, None) => Err("no input: pass --index FILE.hcl or an edge-list path".into()),
+        }
+    }
+
+    /// Converts into the owned [`IndexStore`] the socket server hands out
+    /// through its generation handle. Stored sources pass straight
+    /// through; built ones are serialised once into an in-memory
+    /// container image (trusted: these bytes were produced in-process,
+    /// so a CRC pass over them proves nothing).
+    fn into_store(self) -> Result<IndexStore, String> {
+        match self {
+            Source::Stored(store) => Ok(store),
+            Source::Built { graph, index } => {
+                let bytes = hcl_store::serialize(&graph, &index)
+                    .map_err(|e| format!("serialising built index: {e}"))?;
+                IndexStore::from_bytes_trusted(&bytes)
+                    .map_err(|e| format!("re-opening built index image: {e}"))
+            }
         }
     }
 }
@@ -717,6 +748,19 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
 // hcl serve
 // ---------------------------------------------------------------------------
 
+/// Parses a `--reload-signal` value into a Unix signal number.
+fn parse_reload_signal(value: String) -> Option<i32> {
+    match value.as_str() {
+        "hup" => Some(server::sig::SIGHUP),
+        "usr1" => Some(server::sig::SIGUSR1),
+        "none" => None,
+        other => {
+            eprintln!("error: invalid --reload-signal `{other}` (expected hup, usr1, or none)");
+            usage()
+        }
+    }
+}
+
 fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut index_path: Option<String> = None;
     let mut graph_path: Option<String> = None;
@@ -725,6 +769,11 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut strategy: Option<SelectionStrategy> = None;
     let mut workers: Option<usize> = None;
     let mut trusted = false;
+    let mut listen: Option<String> = None;
+    let mut max_inflight = 1024usize;
+    let mut write_timeout_ms = 30_000u64;
+    let mut reload_signal = Some(server::sig::SIGHUP);
+    let mut listen_only_flag_seen: Option<&'static str> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -751,6 +800,23 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 ))
             }
             "--trusted" => trusted = true,
+            "--listen" | "-l" => listen = Some(next_value(&mut args, "--listen")),
+            "--max-inflight" => {
+                max_inflight =
+                    parse_or_usage(next_value(&mut args, "--max-inflight"), "--max-inflight");
+                listen_only_flag_seen = Some("--max-inflight");
+            }
+            "--write-timeout-ms" => {
+                write_timeout_ms = parse_or_usage(
+                    next_value(&mut args, "--write-timeout-ms"),
+                    "--write-timeout-ms",
+                );
+                listen_only_flag_seen = Some("--write-timeout-ms");
+            }
+            "--reload-signal" => {
+                reload_signal = parse_reload_signal(next_value(&mut args, "--reload-signal"));
+                listen_only_flag_seen = Some("--reload-signal");
+            }
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -770,6 +836,16 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         eprintln!("error: --trusted only applies when serving from --index");
         usage();
     }
+    if listen.is_none() {
+        if let Some(flag) = listen_only_flag_seen {
+            eprintln!("error: {flag} only applies with --listen");
+            usage();
+        }
+    }
+    if max_inflight == 0 {
+        eprintln!("error: --max-inflight must be at least 1");
+        usage();
+    }
     let source = Source::prepare(
         index_path.as_deref(),
         graph_path.as_deref(),
@@ -778,6 +854,32 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         trusted,
         strategy,
     )?;
+
+    if let Some(addr) = listen {
+        // Socket front end: the server owns the store outright (generation
+        // swaps need ownership), so convert before views are ever taken.
+        // Handler threads default to every core — it's a server.
+        let handle = hcl_store::GenerationHandle::new(source.into_store()?);
+        let reload = index_path.map(|path| server::ReloadSpec { path, trusted });
+        return server::serve_listen(
+            handle,
+            server::ServerConfig {
+                addr,
+                workers: resolve_workers(workers.or(Some(0))),
+                max_inflight,
+                write_timeout: std::time::Duration::from_millis(write_timeout_ms),
+                // A reload signal without a reload source would only ever
+                // log failures; leave it uninstalled.
+                reload_signal: if reload.is_some() {
+                    reload_signal
+                } else {
+                    None
+                },
+                reload,
+            },
+        );
+    }
+
     let (graph, index) = source.views();
     let n = graph.num_vertices();
     let workers = resolve_workers(workers);
@@ -795,8 +897,16 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 pool::CHUNK
             );
         }
+        let latency = metrics::LatencyHistogram::new();
         let t0 = Instant::now();
-        let summary = pool::serve_pooled(graph, index, workers, stdin.lock(), std::io::stdout())?;
+        let summary = pool::serve_pooled(
+            graph,
+            index,
+            workers,
+            stdin.lock(),
+            std::io::stdout(),
+            &latency,
+        )?;
         if summary.closed {
             eprintln!("stdout closed by reader; shutting down");
         }
@@ -807,6 +917,9 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 t0.elapsed()
             );
         }
+        if let Some(line) = latency.summary_line() {
+            eprintln!("{line}");
+        }
         return Ok(());
     }
     if stdin.is_terminal() {
@@ -815,6 +928,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut ctx = QueryContext::new();
+    let latency = metrics::LatencyHistogram::new();
     let mut served = 0u64;
     let t0 = Instant::now();
     for (lineno, line) in stdin.lock().lines().enumerate() {
@@ -822,6 +936,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n) else {
             continue;
         };
+        let t1 = Instant::now();
         let answer = index.query_with(graph, &mut ctx, u, v);
         if let AnswerSink::Closed = write_answer(&mut out, u, v, answer, true)? {
             // The reader went away (e.g. `hcl serve … | head`): that ends
@@ -829,10 +944,14 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             eprintln!("stdout closed by reader; shutting down");
             break;
         }
+        latency.record(t1.elapsed());
         served += 1;
     }
     if served > 0 {
         eprintln!("served {served} queries in {:.1?}", t0.elapsed());
+    }
+    if let Some(line) = latency.summary_line() {
+        eprintln!("{line}");
     }
     Ok(())
 }

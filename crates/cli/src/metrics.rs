@@ -1,0 +1,345 @@
+//! Request-latency histograms and serving counters.
+//!
+//! One [`LatencyHistogram`] underlies every serving mode — sequential
+//! stdin, the pooled stdin workers, and the TCP/HTTP front end — so their
+//! shutdown summaries report the **same fields in the same format** and
+//! stay directly comparable. The histogram is log-linear (8 linear
+//! sub-buckets per power-of-two octave of nanoseconds, ≤ 12.5 % relative
+//! quantile error), lock-free (`AtomicU64` buckets, relaxed ordering), and
+//! fixed-size (~2.6 KiB), so any number of worker threads can record into
+//! a shared instance without coordination.
+//!
+//! [`ServerMetrics`] adds the counters the socket front end exposes on
+//! `GET /metrics`: totals for requests, answers, malformed and
+//! out-of-range requests, connections, backpressure rejections, client
+//! disconnects, write timeouts, oversized lines, and index reloads. The
+//! rendered format is Prometheus-style `name value` lines.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per octave: values map to bucket by their top
+/// `1 + SUB_BITS` mantissa bits, bounding relative error at
+/// `2^-SUB_BITS` = 12.5 %.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves above the linear range: covers durations up to 2^42 ns ≈ 73 min,
+/// far past anything a distance query can take.
+const OCTAVES: usize = 40;
+const NUM_BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+/// A fixed-size, thread-safe, log-linear histogram of request latencies.
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+/// Bucket index for a duration of `ns` nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUBS as u64 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros() as usize; // >= SUB_BITS
+    let sub = ((ns >> (octave - SUB_BITS as usize)) & (SUBS as u64 - 1)) as usize;
+    let idx = (octave - SUB_BITS as usize) * SUBS + sub + SUBS;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (in ns) of the values mapping to bucket `idx` —
+/// the value quantiles report, so quantiles never under-estimate.
+fn bucket_upper_ns(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let octave = (idx - SUBS) / SUBS + SUB_BITS as usize;
+    let sub = ((idx - SUBS) % SUBS) as u64;
+    ((SUBS as u64 + sub + 1) << (octave - SUB_BITS as usize)) - 1
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request latency. Lock-free; safe from any thread.
+    pub(crate) fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Recorded sample count.
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q <= 1) in microseconds, or `None` with no
+    /// samples. Reported as the upper bound of the bucket holding the
+    /// rank, so the true quantile is never under-reported and the error
+    /// is bounded by the bucket width (≤ 12.5 % relative).
+    pub(crate) fn quantile_us(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper_ns(idx) as f64 / 1_000.0);
+            }
+        }
+        // Counter skew between count and buckets under concurrent
+        // recording can land here; the last bucket is the honest answer.
+        Some(bucket_upper_ns(NUM_BUCKETS - 1) as f64 / 1_000.0)
+    }
+
+    /// Mean latency in microseconds, or `None` with no samples.
+    pub(crate) fn mean_us(&self) -> Option<f64> {
+        let total = self.count();
+        (total > 0).then(|| self.sum_ns.load(Ordering::Relaxed) as f64 / total as f64 / 1_000.0)
+    }
+
+    /// The one-line latency summary every serving mode prints at
+    /// shutdown, and the format the CLI test suite pins:
+    ///
+    /// `latency: p50=1.2µs p90=3.4µs p99=5.6µs mean=1.8µs over 100 queries`
+    ///
+    /// `None` when nothing was recorded (an idle session prints no
+    /// summary, matching the existing `served …` line's behaviour).
+    pub(crate) fn summary_line(&self) -> Option<String> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        Some(format!(
+            "latency: p50={:.1}µs p90={:.1}µs p99={:.1}µs mean={:.1}µs over {n} queries",
+            self.quantile_us(0.50)?,
+            self.quantile_us(0.90)?,
+            self.quantile_us(0.99)?,
+            self.mean_us()?,
+        ))
+    }
+}
+
+/// One monotonically increasing counter, exported under `name`.
+pub(crate) struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Every counter the socket front end maintains, plus the shared latency
+/// histogram. All fields are updated lock-free from connection handlers.
+pub(crate) struct ServerMetrics {
+    /// Accepted TCP connections (including ones later rejected as busy).
+    pub(crate) connections: Counter,
+    /// Requests received on any transport (valid or not).
+    pub(crate) requests: Counter,
+    /// Answer lines / JSON answers successfully written.
+    pub(crate) answers: Counter,
+    /// Requests dropped because they did not parse as `u v`.
+    pub(crate) malformed: Counter,
+    /// Requests dropped because a vertex id was out of range.
+    pub(crate) out_of_range: Counter,
+    /// HTTP requests (a subset of `requests` for `/query`, plus the
+    /// control/observability endpoints).
+    pub(crate) http_requests: Counter,
+    /// Connections turned away at admission because `--max-inflight`
+    /// connections were already queued.
+    pub(crate) busy_rejected: Counter,
+    /// Connections that vanished mid-request (EOF with a partial line,
+    /// reset, or any other terminal read error).
+    pub(crate) disconnects: Counter,
+    /// Connections dropped because a stalled client tripped the write
+    /// timeout.
+    pub(crate) write_timeouts: Counter,
+    /// Connections dropped for exceeding the request-line size cap.
+    pub(crate) oversized: Counter,
+    /// Successful zero-downtime index reloads (generation swaps).
+    pub(crate) reloads: Counter,
+    /// Reload attempts that failed (the old generation stays live).
+    pub(crate) reload_failures: Counter,
+    /// Connections currently being handled (gauge).
+    pub(crate) inflight: AtomicI64,
+    /// Per-request latency across all transports.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            connections: Counter::new("hcl_connections_total"),
+            requests: Counter::new("hcl_requests_total"),
+            answers: Counter::new("hcl_answers_total"),
+            malformed: Counter::new("hcl_malformed_total"),
+            out_of_range: Counter::new("hcl_out_of_range_total"),
+            http_requests: Counter::new("hcl_http_requests_total"),
+            busy_rejected: Counter::new("hcl_busy_rejected_total"),
+            disconnects: Counter::new("hcl_disconnects_total"),
+            write_timeouts: Counter::new("hcl_write_timeouts_total"),
+            oversized: Counter::new("hcl_oversized_total"),
+            reloads: Counter::new("hcl_reloads_total"),
+            reload_failures: Counter::new("hcl_reload_failures_total"),
+            inflight: AtomicI64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Renders the `GET /metrics` body: Prometheus-style `name value`
+    /// lines — every counter, the in-flight gauge, the current index
+    /// generation, and the latency quantiles (omitted until the first
+    /// sample, like every quantile exporter).
+    pub(crate) fn render(&self, generation: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(768);
+        out.push_str("hcl_up 1\n");
+        let _ = writeln!(out, "hcl_index_generation {generation}");
+        for c in [
+            &self.connections,
+            &self.requests,
+            &self.answers,
+            &self.malformed,
+            &self.out_of_range,
+            &self.http_requests,
+            &self.busy_rejected,
+            &self.disconnects,
+            &self.write_timeouts,
+            &self.oversized,
+            &self.reloads,
+            &self.reload_failures,
+        ] {
+            let _ = writeln!(out, "{} {}", c.name, c.get());
+        }
+        let _ = writeln!(
+            out,
+            "hcl_inflight_connections {}",
+            self.inflight.load(Ordering::Relaxed).max(0)
+        );
+        let _ = writeln!(out, "hcl_latency_samples {}", self.latency.count());
+        for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+            if let Some(us) = self.latency.quantile_us(q) {
+                let _ = writeln!(out, "hcl_latency_us{{quantile=\"{label}\"}} {us:.1}");
+            }
+        }
+        if let Some(us) = self.latency.mean_us() {
+            let _ = writeln!(out, "hcl_latency_us_mean {us:.1}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_trip_and_bound_error() {
+        for ns in [
+            0u64,
+            1,
+            7,
+            8,
+            100,
+            999,
+            12_345,
+            1_000_000,
+            3_600_000_000_000,
+        ] {
+            let idx = bucket_of(ns);
+            let upper = bucket_upper_ns(idx);
+            assert!(upper >= ns, "upper {upper} < value {ns}");
+            // ≤ 12.5 % relative over-report (exact in the linear range).
+            assert!(
+                upper as f64 <= ns as f64 * 1.125 + 1.0,
+                "bucket too wide: {ns} -> {upper}"
+            );
+            if idx > 0 {
+                assert!(bucket_upper_ns(idx - 1) < ns, "value below bucket floor");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 100 samples: 1µs ×90, 100µs ×9, 10ms ×1.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(10));
+        assert_eq!(h.count(), 100);
+
+        let p50 = h.quantile_us(0.50).unwrap();
+        assert!((1.0..=1.2).contains(&p50), "p50 = {p50}");
+        let p90 = h.quantile_us(0.90).unwrap();
+        assert!((1.0..=1.2).contains(&p90), "p90 = {p90}"); // rank 90 is still a 1µs sample
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((100.0..=113.0).contains(&p99), "p99 = {p99}");
+        let p100 = h.quantile_us(1.0).unwrap();
+        assert!(p100 >= 10_000.0, "p100 = {p100}");
+        let mean = h.mean_us().unwrap();
+        assert!((100.0..=120.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn summary_line_pins_the_shared_format() {
+        let h = LatencyHistogram::new();
+        assert!(h.summary_line().is_none(), "idle sessions print no summary");
+        for us in [1, 2, 3] {
+            h.record(Duration::from_micros(us));
+        }
+        let line = h.summary_line().unwrap();
+        assert!(line.starts_with("latency: p50="), "line = {line}");
+        for field in [" p90=", " p99=", " mean=", "µs", " over 3 queries"] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+
+    #[test]
+    fn render_exposes_counters_generation_and_quantiles() {
+        let m = ServerMetrics::new();
+        m.requests.inc();
+        m.requests.inc();
+        m.answers.inc();
+        m.latency.record(Duration::from_micros(5));
+        let text = m.render(3);
+        for needle in [
+            "hcl_up 1\n",
+            "hcl_index_generation 3\n",
+            "hcl_requests_total 2\n",
+            "hcl_answers_total 1\n",
+            "hcl_busy_rejected_total 0\n",
+            "hcl_latency_samples 1\n",
+            "hcl_latency_us{quantile=\"0.99\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

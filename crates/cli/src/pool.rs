@@ -33,6 +33,7 @@
 //! reader/writer sequence window ([`Window`]), so even a pathologically
 //! slow chunk stalling the write front cannot balloon memory.
 
+use crate::metrics::LatencyHistogram;
 use crate::validate_serve_pair;
 use hcl_core::{GraphView, VertexId};
 use hcl_index::{IndexView, QueryContext};
@@ -41,6 +42,7 @@ use std::io::{BufRead, ErrorKind, Write};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Queries per pool chunk. Large enough that channel and reorder overhead
 /// amortises to noise against µs-scale queries, small enough that a
@@ -139,6 +141,7 @@ pub(crate) fn serve_pooled(
     workers: usize,
     input: impl BufRead,
     output: impl Write + Send,
+    latency: &LatencyHistogram,
 ) -> Result<ServeSummary, String> {
     let n = graph.num_vertices();
     let shutdown = AtomicBool::new(false);
@@ -159,7 +162,7 @@ pub(crate) fn serve_pooled(
         for _ in 0..workers {
             let job_rx = &job_rx;
             let res_tx = res_tx.clone();
-            s.spawn(move || worker_loop(graph, index, job_rx, res_tx, shutdown));
+            s.spawn(move || worker_loop(graph, index, job_rx, res_tx, shutdown, latency));
         }
         // The clones above keep the channel open; drop the original so the
         // writer sees EOF once every worker is done.
@@ -277,6 +280,7 @@ fn worker_loop(
     job_rx: &Mutex<Receiver<Job>>,
     res_tx: SyncSender<Chunk>,
     shutdown: &AtomicBool,
+    latency: &LatencyHistogram,
 ) {
     let mut ctx = QueryContext::new();
     loop {
@@ -292,7 +296,10 @@ fn worker_loop(
         let mut buf = String::with_capacity(pairs.len() * 12);
         let count = pairs.len() as u64;
         for (u, v) in pairs {
-            push_answer_line(&mut buf, u, v, index.query_with(graph, &mut ctx, u, v));
+            let t0 = Instant::now();
+            let answer = index.query_with(graph, &mut ctx, u, v);
+            latency.record(t0.elapsed());
+            push_answer_line(&mut buf, u, v, answer);
         }
         if res_tx.send((seq, buf, count)).is_err() {
             return; // writer gone (can only mean it panicked) — bail out

@@ -1,0 +1,817 @@
+//! The network serving front end: `hcl serve --listen <addr>`.
+//!
+//! A deliberately small, dependency-free socket server in the shape the
+//! ROADMAP asked for — the proven pool discipline promoted from stdin to
+//! TCP:
+//!
+//! * **Accept loop** (the calling thread): a non-blocking `TcpListener`
+//!   polled on a short tick, so one loop multiplexes accepting, signal
+//!   flags (drain / reload), and stdin-EOF shutdown without any async
+//!   runtime.
+//! * **Admission control**: accepted sockets go through a **bounded**
+//!   queue of `--max-inflight` connections feeding `--workers` handler
+//!   threads. Beyond the bound, connections are turned away immediately
+//!   with a `error: server busy` line (counted in `/metrics`) instead of
+//!   queueing unboundedly — total connection memory is
+//!   O(workers + max-inflight), and per-connection memory is one bounded
+//!   line buffer (the handler answers each request before reading the
+//!   next, so a pipelining client cannot balloon the server).
+//! * **Two protocols on one port**, sniffed from the first request line:
+//!   newline-delimited `u v` pairs answered as `u v d` lines (byte-for-
+//!   byte the stdin `serve` format), or minimal HTTP/1.1
+//!   (`GET /query?s=..&t=..`, `/healthz`, `/metrics`, `/reload`;
+//!   one request per connection, `Connection: close`) for load balancers
+//!   and scrapers.
+//! * **Fault containment**: malformed and out-of-range requests are
+//!   skipped with a stderr diagnostic (the stdin serve contract) and
+//!   counted; oversized request lines (> [`MAX_LINE`] bytes), clients
+//!   that vanish mid-request, and stalled readers that trip
+//!   `--write-timeout-ms` each close *that* connection and bump a
+//!   counter — the server stays up.
+//! * **Graceful drain**: SIGTERM/SIGINT or stdin EOF stop the accept
+//!   loop; handlers finish the request in flight, close, and the process
+//!   exits 0 with the same latency summary the stdin path prints.
+//! * **Zero-downtime reload**: `GET /reload` (or the `--reload-signal`
+//!   Unix signal) re-opens the `--index` file and atomically swaps the
+//!   new generation into the shared [`GenerationHandle`]; in-flight
+//!   requests finish on the old mmap, which is unmapped when its last
+//!   snapshot drops. `save_with`'s rename-into-place makes the writer
+//!   side safe, so a build pipeline can overwrite the file and poke the
+//!   server with no coordination beyond the poke.
+
+use crate::metrics::ServerMetrics;
+use crate::parse_pair_line;
+use hcl_index::QueryContext;
+use hcl_store::{GenerationHandle, IndexStore};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard cap on one request line, TCP or HTTP. Distance requests are two
+/// decimal ids (< 25 bytes); anything kilobytes long is a confused or
+/// hostile client, and bounding it keeps per-connection memory fixed.
+pub(crate) const MAX_LINE: usize = 8 * 1024;
+
+/// Poll tick for the accept loop (signal flags, shutdown) — the latency
+/// floor for noticing a drain or signal-triggered reload.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Read-timeout tick for connection handlers: how often an idle
+/// connection re-checks the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// How the server re-opens the index on reload.
+pub(crate) struct ReloadSpec {
+    /// Path of the `.hcl` container to re-open (the `--index` argument).
+    pub(crate) path: String,
+    /// Re-open with `open_trusted` (skip the whole-file CRC pass). The
+    /// reload pipeline just wrote the file, so this mirrors `--trusted`.
+    pub(crate) trusted: bool,
+}
+
+/// Everything the accept loop and the handlers share.
+struct ServerState {
+    handle: GenerationHandle,
+    /// `None` when the index was built in memory from an edge list —
+    /// there is no file to re-open, so reload requests are refused.
+    reload: Option<ReloadSpec>,
+    /// Serialises concurrent reload triggers (signal + HTTP racing).
+    reload_lock: Mutex<()>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    write_timeout: Duration,
+}
+
+/// Server configuration assembled by `cmd_serve`.
+pub(crate) struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks an ephemeral port,
+    /// reported on stderr as `listening on <addr>`).
+    pub(crate) addr: String,
+    /// Connection-handler threads; each serves one connection at a time.
+    pub(crate) workers: usize,
+    /// Bound on *queued* admitted connections beyond the `workers` being
+    /// served; further connects are rejected with a busy line.
+    pub(crate) max_inflight: usize,
+    /// How long one blocked answer write may stall before the connection
+    /// is declared dead (slow-reader protection).
+    pub(crate) write_timeout: Duration,
+    /// Reload source; `None` disables `/reload` and the reload signal.
+    pub(crate) reload: Option<ReloadSpec>,
+    /// Unix signal number that triggers a reload (e.g. SIGHUP = 1), if
+    /// any.
+    pub(crate) reload_signal: Option<i32>,
+}
+
+/// Runs the socket front end until drained. Returns `Ok` on a graceful
+/// shutdown (SIGTERM/SIGINT/stdin-EOF); the process then exits 0.
+pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("listener address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener nonblocking: {e}"))?;
+
+    let state = Arc::new(ServerState {
+        handle,
+        reload: cfg.reload,
+        reload_lock: Mutex::new(()),
+        metrics: ServerMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        write_timeout: cfg.write_timeout,
+    });
+    sig::install(cfg.reload_signal);
+
+    // The line the tooling greps for: the bound address (resolving `:0`)
+    // plus the knobs that shape admission.
+    eprintln!(
+        "listening on {local} ({} workers, max {} queued connections, write timeout {:?}{})",
+        cfg.workers,
+        cfg.max_inflight,
+        cfg.write_timeout,
+        match (&state.reload, cfg.reload_signal) {
+            (Some(r), Some(sig)) => format!(", reload via /reload or signal {sig} from {}", r.path),
+            (Some(r), None) => format!(", reload via /reload from {}", r.path),
+            (None, _) => ", reload disabled (no --index)".to_string(),
+        }
+    );
+
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(cfg.max_inflight);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let handlers: Vec<_> = (0..cfg.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&conn_rx);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || handler_loop(&rx, &state))
+        })
+        .collect();
+
+    // Stdin watcher: EOF on stdin is the portable drain trigger (the
+    // stdin serve mode's contract, kept for the socket mode). Detached —
+    // it may stay blocked in read() past shutdown if stdin never closes.
+    {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1024];
+            let mut stdin = std::io::stdin().lock();
+            loop {
+                match stdin.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {} // stray input on stdin is ignored in listen mode
+                }
+            }
+            state.shutdown.store(true, Ordering::Release);
+        });
+    }
+
+    let t0 = Instant::now();
+    loop {
+        if sig::TERM.load(Ordering::Acquire) {
+            eprintln!("termination signal received; draining");
+            state.shutdown.store(true, Ordering::Release);
+        }
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if sig::RELOAD.swap(false, Ordering::AcqRel) {
+            match do_reload(&state) {
+                Ok(gen) => eprintln!("signal reload: now serving generation {gen}"),
+                Err(e) => eprintln!("error: signal reload failed: {e}"),
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.connections.inc();
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        state.metrics.busy_rejected.inc();
+                        reject_busy(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept failures (EMFILE under load, aborted
+                // handshakes) must not kill the server.
+                eprintln!("error: accept: {e}; continuing");
+                std::thread::sleep(ACCEPT_TICK);
+            }
+        }
+    }
+
+    // Drain: stop admitting (drop the sender), let handlers finish their
+    // in-flight request, and close anything still queued unserved.
+    state.shutdown.store(true, Ordering::Release);
+    drop(conn_tx);
+    for h in handlers {
+        h.join().expect("connection handler panicked");
+    }
+
+    let m = &state.metrics;
+    eprintln!(
+        "served {} queries over {} connections in {:.1?} with {} workers \
+         ({} reloads, {} rejected busy)",
+        m.answers.get(),
+        m.connections.get(),
+        t0.elapsed(),
+        cfg.workers.max(1),
+        m.reloads.get(),
+        m.busy_rejected.get(),
+    );
+    if let Some(line) = m.latency.summary_line() {
+        eprintln!("{line}");
+    }
+    Ok(())
+}
+
+/// Re-opens the reload source and swaps it in as the new generation.
+fn do_reload(state: &ServerState) -> Result<u64, String> {
+    let Some(spec) = &state.reload else {
+        return Err("reload unavailable: server was built from an edge list, not --index".into());
+    };
+    let _serialised = state.reload_lock.lock().expect("reload lock poisoned");
+    let t0 = Instant::now();
+    let opened = if spec.trusted {
+        IndexStore::open_trusted(&spec.path)
+    } else {
+        IndexStore::open(&spec.path)
+    };
+    let store = opened.map_err(|e| {
+        state.metrics.reload_failures.inc();
+        format!("re-opening {}: {e}", spec.path)
+    })?;
+    let generation = state.handle.swap(store);
+    state.metrics.reloads.inc();
+    eprintln!(
+        "reloaded {} as generation {generation} in {:.1?} (in-flight queries finish on the old \
+         mapping)",
+        spec.path,
+        t0.elapsed()
+    );
+    Ok(generation)
+}
+
+/// Turns away a connection that arrived past the admission bound. Best
+/// effort: the client may already be gone, and a stalled client gets at
+/// most one second of our time.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let _ = stream.write_all(b"error: server busy (max-inflight reached); retry later\n");
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// One handler thread: serves admitted connections one at a time until
+/// the admission channel closes. Owns one reusable [`QueryContext`] —
+/// the per-worker scratch discipline from the stdin pool.
+fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServerState) {
+    let mut ctx = QueryContext::new();
+    loop {
+        let conn = rx.lock().expect("admission queue poisoned").recv();
+        let Ok(stream) = conn else {
+            return; // accept loop dropped the sender: drained
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            // Admitted but never served before the drain began: close it
+            // rather than start new work during shutdown.
+            drop(stream);
+            continue;
+        }
+        state.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+        handle_conn(stream, &mut ctx, state);
+        state.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A full line is in the buffer (terminator stripped).
+    Line,
+    /// Peer closed its write side; `partial` is true when bytes of an
+    /// unterminated request were left behind (a mid-request disconnect).
+    Eof { partial: bool },
+    /// The read timed out ([`READ_TICK`]); check shutdown and retry.
+    TimedOut,
+    /// The line exceeded `max` bytes; the connection is past saving.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line into `buf` (which accumulates across
+/// [`LineRead::TimedOut`] returns), enforcing the size cap *while
+/// reading* — a hostile client cannot make the buffer grow past
+/// `max + one BufReader block` no matter how much it sends.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineRead::Eof {
+                partial: !buf.is_empty(),
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop(); // accept CRLF (telnet/HTTP framing) transparently
+            }
+            return Ok(if buf.len() > max {
+                LineRead::Oversized
+            } else {
+                LineRead::Line
+            });
+        }
+        let taken = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(taken);
+        if buf.len() > max {
+            return Ok(LineRead::Oversized);
+        }
+    }
+}
+
+/// Does a first request line look like HTTP rather than a `u v` pair?
+fn looks_like_http(line: &str) -> bool {
+    ["GET ", "POST ", "HEAD ", "PUT ", "DELETE "]
+        .iter()
+        .any(|m| line.starts_with(m))
+}
+
+/// Serves one connection to completion: protocol sniff on the first
+/// line, then either the newline `u v` loop or one HTTP exchange.
+fn handle_conn(stream: TcpStream, ctx: &mut QueryContext, state: &ServerState) {
+    let m = &state.metrics;
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "tcp-peer".into());
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
+    let reader_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            m.disconnects.inc();
+            return;
+        }
+    };
+    let mut reader = BufReader::with_capacity(4096, reader_half);
+    let mut writer = BufWriter::new(stream);
+
+    let mut line = Vec::with_capacity(64);
+    let mut lineno = 0usize;
+    let mut first = true;
+    loop {
+        match read_line_bounded(&mut reader, &mut line, MAX_LINE) {
+            Ok(LineRead::TimedOut) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    let _ = writer.flush();
+                    return; // drain: the request in flight (none) is done
+                }
+            }
+            Ok(LineRead::Eof { partial }) => {
+                if partial {
+                    m.disconnects.inc();
+                    eprintln!("error: {peer}: disconnected mid-request (partial line dropped)");
+                }
+                let _ = writer.flush();
+                return;
+            }
+            Ok(LineRead::Oversized) => {
+                m.oversized.inc();
+                eprintln!("error: {peer}: request line exceeds {MAX_LINE} bytes; closing");
+                let _ = writer
+                    .write_all(format!("error: request line exceeds {MAX_LINE} bytes\n").as_bytes())
+                    .and_then(|()| writer.flush());
+                return;
+            }
+            Ok(LineRead::Line) => {
+                lineno += 1;
+                let text = String::from_utf8_lossy(&line).into_owned();
+                line.clear();
+                if first && looks_like_http(&text) {
+                    handle_http(&text, &mut reader, &mut writer, ctx, state, &peer);
+                    return; // one exchange per HTTP connection
+                }
+                first = false;
+                if !handle_tcp_request(&text, lineno, &mut writer, ctx, state, &peer) {
+                    return;
+                }
+                if state.shutdown.load(Ordering::Acquire) {
+                    let _ = writer.flush();
+                    return; // drain: current request answered, stop here
+                }
+            }
+            Err(_) => {
+                m.disconnects.inc();
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one `u v` line. Returns `false` when the connection must
+/// close (write failure). Invalid requests are skipped with a stderr
+/// diagnostic and a metrics bump — never an answer line — so the answer
+/// stream stays byte-identical to stdin serving for the same input.
+fn handle_tcp_request(
+    text: &str,
+    lineno: usize,
+    writer: &mut impl Write,
+    ctx: &mut QueryContext,
+    state: &ServerState,
+    peer: &str,
+) -> bool {
+    let trimmed = text.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return true;
+    }
+    state.metrics.requests.inc();
+    let t0 = Instant::now();
+    let (u, v) = match parse_pair_line(text, peer, lineno) {
+        Ok(Some(pair)) => pair,
+        Ok(None) => return true,
+        Err(msg) => {
+            state.metrics.malformed.inc();
+            eprintln!("error: {msg}");
+            return true;
+        }
+    };
+    let generation = state.handle.current();
+    let store = &generation.store;
+    let n = store.graph().num_vertices();
+    if u as usize >= n || v as usize >= n {
+        state.metrics.out_of_range.inc();
+        eprintln!("error: {peer}:{lineno}: query ({u}, {v}) out of range (n = {n}); skipped");
+        return true;
+    }
+    let d = store.index().query_with(store.graph(), ctx, u, v);
+    let mut buf = String::with_capacity(24);
+    crate::pool::push_answer_line(&mut buf, u, v, d);
+    if !write_answer_bytes(writer, buf.as_bytes(), state, peer) {
+        return false;
+    }
+    state.metrics.latency.record(t0.elapsed());
+    state.metrics.answers.inc();
+    true
+}
+
+/// Writes and flushes one answer, classifying failures: a stalled reader
+/// trips the write timeout, a vanished one counts as a disconnect.
+/// Returns `false` when the connection is dead.
+fn write_answer_bytes(
+    writer: &mut impl Write,
+    bytes: &[u8],
+    state: &ServerState,
+    peer: &str,
+) -> bool {
+    match writer.write_all(bytes).and_then(|()| writer.flush()) {
+        Ok(()) => true,
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            state.metrics.write_timeouts.inc();
+            eprintln!(
+                "error: {peer}: answer write stalled past {:?} (slow reader); closing",
+                state.write_timeout
+            );
+            false
+        }
+        Err(_) => {
+            state.metrics.disconnects.inc();
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.x handling
+// ---------------------------------------------------------------------------
+
+/// Serves one HTTP exchange: drains headers, dispatches on the path,
+/// writes a `Connection: close` response.
+fn handle_http(
+    request_line: &str,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    ctx: &mut QueryContext,
+    state: &ServerState,
+    peer: &str,
+) {
+    let m = &state.metrics;
+    m.http_requests.inc();
+
+    // Drain headers (bounded): we never need them, but the socket must be
+    // past them before the response for well-behaved clients.
+    let mut header = Vec::with_capacity(128);
+    for _ in 0..100 {
+        header.clear();
+        match read_line_bounded(reader, &mut header, MAX_LINE) {
+            Ok(LineRead::Line) if header.is_empty() => break, // blank line: end of headers
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TimedOut) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(LineRead::Eof { .. }) => break, // HTTP/1.0-style bare request
+            Ok(LineRead::Oversized) | Err(_) => {
+                m.disconnects.inc();
+                return;
+            }
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(method), Some(target)) => (method, target),
+        _ => {
+            respond(
+                writer,
+                state,
+                peer,
+                400,
+                "Bad Request",
+                "text/plain",
+                "malformed request line\n",
+            );
+            return;
+        }
+    };
+    if method == "POST" && target != "/reload" {
+        respond(
+            writer,
+            state,
+            peer,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "try GET\n",
+        );
+        return;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => {
+            respond(writer, state, peer, 200, "OK", "text/plain", "ok\n");
+        }
+        "/metrics" => {
+            let body = m.render(state.handle.number());
+            respond(writer, state, peer, 200, "OK", "text/plain", &body);
+        }
+        "/query" => handle_http_query(query, writer, ctx, state, peer),
+        "/reload" => match do_reload(state) {
+            Ok(generation) => {
+                let body = format!("{{\"ok\":true,\"generation\":{generation}}}\n");
+                respond(writer, state, peer, 200, "OK", "application/json", &body);
+            }
+            Err(e) => {
+                let (status, reason) = if state.reload.is_none() {
+                    (409, "Conflict")
+                } else {
+                    (500, "Internal Server Error")
+                };
+                let body = format!("{{\"ok\":false,\"error\":{:?}}}\n", e);
+                respond(
+                    writer,
+                    state,
+                    peer,
+                    status,
+                    reason,
+                    "application/json",
+                    &body,
+                );
+            }
+        },
+        _ => {
+            respond(
+                writer,
+                state,
+                peer,
+                404,
+                "Not Found",
+                "text/plain",
+                "unknown path\n",
+            );
+        }
+    }
+}
+
+/// `GET /query?s=A&t=B` → `{"s":A,"t":B,"dist":D|null,"generation":G}`.
+fn handle_http_query(
+    query: &str,
+    writer: &mut impl Write,
+    ctx: &mut QueryContext,
+    state: &ServerState,
+    peer: &str,
+) {
+    state.metrics.requests.inc();
+    let t0 = Instant::now();
+    let (mut s, mut t) = (None, None);
+    for kv in query.split('&') {
+        match kv.split_once('=') {
+            Some(("s", val)) => s = val.parse::<u32>().ok(),
+            Some(("t", val)) => t = val.parse::<u32>().ok(),
+            _ => {}
+        }
+    }
+    let (Some(s), Some(t)) = (s, t) else {
+        state.metrics.malformed.inc();
+        respond(
+            writer,
+            state,
+            peer,
+            400,
+            "Bad Request",
+            "application/json",
+            "{\"ok\":false,\"error\":\"expected /query?s=<u32>&t=<u32>\"}\n",
+        );
+        return;
+    };
+    let generation = state.handle.current();
+    let store = &generation.store;
+    let n = store.graph().num_vertices();
+    if s as usize >= n || t as usize >= n {
+        state.metrics.out_of_range.inc();
+        let body = format!("{{\"ok\":false,\"error\":\"vertex id out of range\",\"n\":{n}}}\n");
+        respond(
+            writer,
+            state,
+            peer,
+            400,
+            "Bad Request",
+            "application/json",
+            &body,
+        );
+        return;
+    }
+    let d = store.index().query_with(store.graph(), ctx, s, t);
+    let dist = match d {
+        Some(d) => d.to_string(),
+        None => "null".into(),
+    };
+    let body = format!(
+        "{{\"s\":{s},\"t\":{t},\"dist\":{dist},\"generation\":{}}}\n",
+        generation.number
+    );
+    if respond(writer, state, peer, 200, "OK", "application/json", &body) {
+        state.metrics.latency.record(t0.elapsed());
+        state.metrics.answers.inc();
+    }
+}
+
+/// Writes one complete HTTP response. Returns `true` on success (the
+/// failure classification happens inside, like every answer write).
+fn respond(
+    writer: &mut impl Write,
+    state: &ServerState,
+    peer: &str,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> bool {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let mut bytes = Vec::with_capacity(head.len() + body.len());
+    bytes.extend_from_slice(head.as_bytes());
+    bytes.extend_from_slice(body.as_bytes());
+    write_answer_bytes(writer, &bytes, state, peer)
+}
+
+// ---------------------------------------------------------------------------
+// Signal plumbing (flags only; all real work happens on the accept loop)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+pub(crate) mod sig {
+    //! Async-signal-safe flag setters installed with POSIX `signal(2)`
+    //! via the same direct-FFI discipline `hcl-store` uses for mmap: the
+    //! handlers only store to static atomics; the accept loop polls.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by SIGTERM/SIGINT: drain and exit 0.
+    pub(crate) static TERM: AtomicBool = AtomicBool::new(false);
+    /// Set by the configured reload signal: swap in a new generation.
+    pub(crate) static RELOAD: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) const SIGHUP: i32 = 1;
+    const SIGINT: i32 = 2;
+    #[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "openbsd"))]
+    pub(crate) const SIGUSR1: i32 = 30;
+    #[cfg(not(any(target_os = "macos", target_os = "freebsd", target_os = "openbsd")))]
+    pub(crate) const SIGUSR1: i32 = 10;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_reload(_sig: i32) {
+        RELOAD.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the drain handlers (SIGTERM, SIGINT) and, when given, the
+    /// reload signal.
+    pub(crate) fn install(reload_signal: Option<i32>) {
+        let term = on_term as extern "C" fn(i32) as *const () as usize;
+        let reload = on_reload as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGTERM, term);
+            signal(SIGINT, term);
+            if let Some(s) = reload_signal {
+                signal(s, reload);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) mod sig {
+    //! Non-Unix stub: no signals; drain still works via stdin EOF.
+    use std::sync::atomic::AtomicBool;
+
+    pub(crate) static TERM: AtomicBool = AtomicBool::new(false);
+    pub(crate) static RELOAD: AtomicBool = AtomicBool::new(false);
+    pub(crate) const SIGHUP: i32 = 1;
+    pub(crate) const SIGUSR1: i32 = 10;
+
+    pub(crate) fn install(_reload_signal: Option<i32>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_reader_splits_lines_and_strips_crlf() {
+        let mut r = BufReader::new(Cursor::new(b"0 1\n2 3\r\npartial".to_vec()));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"0 1");
+        buf.clear();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"2 3");
+        buf.clear();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 64).unwrap(),
+            LineRead::Eof { partial: true }
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_caps_unterminated_floods() {
+        // 1 MiB of newline-free garbage must trip the cap long before the
+        // stream ends, with the buffer never ballooning past max + block.
+        let mut r = BufReader::with_capacity(512, Cursor::new(vec![b'x'; 1 << 20]));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 4096).unwrap(),
+            LineRead::Oversized
+        ));
+        assert!(buf.len() <= 4096 + 512);
+    }
+
+    #[test]
+    fn http_sniff_only_matches_http_verbs() {
+        assert!(looks_like_http("GET /healthz HTTP/1.1"));
+        assert!(looks_like_http("POST /reload HTTP/1.1"));
+        assert!(!looks_like_http("0 1"));
+        assert!(!looks_like_http("GETTY 1"));
+        assert!(!looks_like_http("# comment"));
+    }
+}

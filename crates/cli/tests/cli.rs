@@ -199,6 +199,63 @@ fn query_and_serve_agree_on_out_of_range_handling() {
     );
 }
 
+/// Both stdin serving paths (sequential and pooled) must end with the
+/// same machine-parseable latency summary on stderr. The format is a
+/// contract shared with `serve --listen`; this pins it.
+#[test]
+fn serve_prints_latency_summary_in_pinned_format() {
+    let scratch = Scratch::new("latency");
+    let graph = scratch.file("g.edges", "0 1\n1 2\n2 3\n3 4\n");
+    let index = scratch.path("g.hcl");
+    run_ok(hcl().arg("build").arg(&graph).arg("--out").arg(&index));
+
+    for workers in ["1", "4"] {
+        let mut child = hcl()
+            .arg("serve")
+            .arg("--index")
+            .arg(&index)
+            .args(["--workers", workers])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(b"0 4\n1 3\n0 0\n")
+            .expect("write queries");
+        let out = child.wait_with_output().expect("wait");
+        assert!(out.status.success());
+        let err = stderr_of(&out);
+        let line = err
+            .lines()
+            .find(|l| l.starts_with("latency: "))
+            .unwrap_or_else(|| panic!("no latency summary at {workers} workers: {err}"));
+        // latency: p50=X.Xµs p90=X.Xµs p99=X.Xµs mean=X.Xµs over N queries
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), 8, "summary shape changed: {line}");
+        for (i, prefix) in [(1, "p50="), (2, "p90="), (3, "p99="), (4, "mean=")] {
+            let rest = fields[i]
+                .strip_prefix(prefix)
+                .unwrap_or_else(|| panic!("field {i} of `{line}` lost its `{prefix}`"));
+            let value = rest
+                .strip_suffix("µs")
+                .unwrap_or_else(|| panic!("field {i} of `{line}` lost its µs unit"));
+            let parsed: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("field {i} of `{line}` is not a decimal: {value}"));
+            assert!(parsed >= 0.0);
+        }
+        assert_eq!(
+            (fields[5], fields[6], fields[7]),
+            ("over", "3", "queries"),
+            "sample count changed: {line}"
+        );
+    }
+}
+
 /// `hcl serve … | head`-style reader disappearance: the serve loop must
 /// treat the broken pipe as end-of-session — summary on stderr, exit 0 —
 /// not abort with `error: writing output`.

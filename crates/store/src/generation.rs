@@ -1,0 +1,192 @@
+//! Atomically swappable index generations for zero-downtime reload.
+//!
+//! A long-running serving process wants to pick up a freshly built `.hcl`
+//! container **without dropping a single in-flight query**: the old mmap
+//! must stay valid until the last query borrowed from it finishes, and new
+//! queries must start on the new file immediately. [`GenerationHandle`]
+//! packages that pattern: it owns the current [`IndexStore`] behind an
+//! `Arc`, hands out `(Arc<IndexStore>, generation)` snapshots to request
+//! handlers (one cheap clone per request), and [`swap`](
+//! GenerationHandle::swap)s in a replacement atomically. Because
+//! [`save_with`](crate::save_with) renames complete files into place and
+//! an mmap pins its inode, the whole reload pipeline — writer saves, server
+//! re-opens, handle swaps — never exposes a torn or truncated view.
+//!
+//! The handle is deliberately storage-level: it knows nothing about
+//! sockets or request routing, so the same type serves a CLI server, a
+//! test harness hammering swaps, or an embedding application.
+
+use crate::IndexStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The current index generation of a [`GenerationHandle`] snapshot:
+/// which store to query and which reload produced it.
+#[derive(Clone)]
+pub struct Generation {
+    /// The store backing this generation; queries borrow views from it,
+    /// and the `Arc` keeps the mapping alive for as long as any in-flight
+    /// query still holds the snapshot.
+    pub store: Arc<IndexStore>,
+    /// 1-based reload counter: the store the handle was created with is
+    /// generation 1, the first successful swap makes 2, and so on.
+    pub number: u64,
+}
+
+/// An atomically swappable handle to the "current" [`IndexStore`].
+///
+/// Readers call [`current`](GenerationHandle::current) once per request
+/// and run the whole request against that snapshot; a concurrent
+/// [`swap`](GenerationHandle::swap) never invalidates it — the old store
+/// is dropped (and its mmap unmapped) only when the last snapshot goes
+/// away. The read path is one `RwLock` read acquisition plus one `Arc`
+/// clone, which is noise against µs-scale distance queries.
+pub struct GenerationHandle {
+    current: RwLock<Generation>,
+    /// Lock-free mirror of the current generation number, for metrics
+    /// endpoints that want the number without touching the lock.
+    number: AtomicU64,
+}
+
+impl GenerationHandle {
+    /// Wraps `store` as generation 1.
+    pub fn new(store: IndexStore) -> Self {
+        Self {
+            current: RwLock::new(Generation {
+                store: Arc::new(store),
+                number: 1,
+            }),
+            number: AtomicU64::new(1),
+        }
+    }
+
+    /// A consistent snapshot of the current store and its generation
+    /// number; hold it for the duration of one request.
+    pub fn current(&self) -> Generation {
+        self.current
+            .read()
+            .expect("generation lock poisoned")
+            .clone()
+    }
+
+    /// Atomically replaces the current store with `store`, returning the
+    /// new generation number. In-flight snapshots keep the old store
+    /// alive; requests that take a snapshot after `swap` returns see the
+    /// new one.
+    pub fn swap(&self, store: IndexStore) -> u64 {
+        let mut cur = self.current.write().expect("generation lock poisoned");
+        cur.store = Arc::new(store);
+        cur.number += 1;
+        self.number.store(cur.number, Ordering::Release);
+        cur.number
+    }
+
+    /// The current generation number without taking the lock (may be one
+    /// swap stale relative to a racing [`swap`](GenerationHandle::swap) —
+    /// fine for metrics, not for correctness decisions).
+    pub fn number(&self) -> u64 {
+        self.number.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for GenerationHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerationHandle")
+            .field("generation", &self.number())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::testkit;
+    use hcl_index::{HighwayCoverIndex, IndexConfig, QueryContext};
+
+    fn store_for(seed: u64, landmarks: usize) -> IndexStore {
+        let graph = testkit::barabasi_albert(200, 3, seed);
+        let index = HighwayCoverIndex::build(
+            &graph,
+            IndexConfig {
+                num_landmarks: landmarks,
+            },
+        );
+        let bytes = crate::serialize(&graph, &index).expect("serialize");
+        IndexStore::from_bytes(&bytes).expect("open")
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_serves_new_store() {
+        let handle = GenerationHandle::new(store_for(1, 4));
+        let g1 = handle.current();
+        assert_eq!(g1.number, 1);
+        assert_eq!(handle.number(), 1);
+
+        assert_eq!(handle.swap(store_for(1, 8)), 2);
+        let g2 = handle.current();
+        assert_eq!(g2.number, 2);
+        assert_eq!(handle.number(), 2);
+        assert_eq!(g2.store.meta().num_landmarks, 8);
+
+        // The old snapshot is still fully usable: same graph, same exact
+        // answers, even though the handle has moved on.
+        let mut ctx = QueryContext::new();
+        let d_old = g1
+            .store
+            .index()
+            .query_with(g1.store.graph(), &mut ctx, 0, 7);
+        let d_new = g2
+            .store
+            .index()
+            .query_with(g2.store.graph(), &mut ctx, 0, 7);
+        assert_eq!(d_old, d_new);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_complete_generation() {
+        let handle = std::sync::Arc::new(GenerationHandle::new(store_for(2, 4)));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = handle.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = QueryContext::new();
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let gen = handle.current();
+                        // Generations only move forward under a reader.
+                        assert!(gen.number >= last, "generation went backwards");
+                        last = gen.number;
+                        let d = gen
+                            .store
+                            .index()
+                            .query_with(gen.store.graph(), &mut ctx, 3, 11);
+                        // Both test stores index the same graph, so the
+                        // exact answer is generation-independent.
+                        assert!(d.is_some(), "connected BA graph pair lost");
+                    }
+                    last
+                })
+            })
+            .collect();
+
+        let mut swapped = 1;
+        for i in 0..20 {
+            swapped = handle.swap(if i % 2 == 0 {
+                store_for(2, 8)
+            } else {
+                store_for(2, 4)
+            });
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let seen = r.join().expect("reader panicked");
+            assert!(seen <= swapped);
+        }
+        assert_eq!(handle.number(), swapped);
+        assert_eq!(swapped, 21);
+    }
+}

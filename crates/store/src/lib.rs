@@ -47,6 +47,7 @@ mod backing;
 mod checksum;
 mod error;
 mod format;
+mod generation;
 
 pub use checksum::crc64;
 pub use error::StoreError;
@@ -55,6 +56,7 @@ pub use format::{
     BuildInfo, SectionInfo, StoreMeta, FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC,
     OLDEST_READABLE_VERSION,
 };
+pub use generation::{Generation, GenerationHandle};
 // The strategy type recorded in [`BuildInfo`] lives in `hcl-index`;
 // re-exported so store-level tooling does not need the extra import.
 pub use hcl_index::SelectionStrategy;
