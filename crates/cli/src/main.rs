@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! hcl build <graph.edges> [--out FILE.hcl] [--landmarks K] [--strategy S]
+//!           [--progress]
 //! hcl query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]
 //!           [--strategy S]) [--queries FILE | --random N] [--seed S]
-//!           [--workers W] [--verify]
+//!           [--workers W] [--verify] [--explain]
 //! hcl serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]
-//!           [--strategy S]) [--workers W]
-//! hcl inspect <FILE.hcl>
+//!           [--strategy S]) [--workers W] [--slow-log-us N] [--quiet]
+//! hcl inspect <FILE.hcl> [--stats]
 //! ```
 //!
 //! `build` parses a whitespace `u v` edge list (blank lines and `#`/`%`
@@ -33,9 +34,12 @@
 mod metrics;
 mod pool;
 mod server;
+mod slowlog;
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
-use hcl_index::{BuildOptions, HighwayCoverIndex, IndexView, QueryContext, SelectionStrategy};
+use hcl_index::{
+    BuildOptions, HighwayCoverIndex, IndexView, QueryContext, QueryStats, SelectionStrategy,
+};
 use hcl_store::IndexStore;
 use std::io::{BufRead, ErrorKind, IsTerminal, Write};
 use std::process::ExitCode;
@@ -45,7 +49,7 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
      \n\
      commands:\n\
        build <graph.edges> [--out FILE.hcl] [--landmarks K] [--threads T]\n\
-             [--batch B] [--strategy S]\n\
+             [--batch B] [--strategy S] [--progress]\n\
            Build the highway-cover index once and persist it (default\n\
            output: <graph.edges>.hcl). --threads shards the landmark\n\
            searches over T worker threads (default: HCL_BUILD_THREADS or\n\
@@ -55,10 +59,15 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            picks how landmarks are chosen: degree-rank (default),\n\
            approx-coverage[:seed], or seeded-random[:seed] (default:\n\
            HCL_BUILD_STRATEGY, else degree-rank); the choice is recorded\n\
-           in the container header and shown by inspect.\n\
+           in the container header and shown by inspect. --progress\n\
+           streams per-phase timing lines (selection, each landmark\n\
+           batch, highway closure) to stderr while the build runs. Build\n\
+           counters (BFS visits, domination prunes, per-landmark label\n\
+           contributions) are always recorded in the container and shown\n\
+           by inspect --stats.\n\
        query (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
              [--threads T] [--strategy S]) [--queries FILE | --random N]\n\
-             [--seed S] [--workers W] [--verify]\n\
+             [--seed S] [--workers W] [--verify] [--explain]\n\
            Answer `u v` distance queries. With --index the saved container\n\
            is memory-mapped and served zero-copy — no rebuild; --trusted\n\
            additionally skips the whole-file checksum pass (for files this\n\
@@ -67,11 +76,16 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            input order regardless of --workers. Out-of-range ids are\n\
            reported with their source line and skipped. --workers W\n\
            answers the workload on W threads sharing one index (0 = all\n\
-           cores). --verify re-checks against a BFS oracle.\n\
+           cores). --verify re-checks against a BFS oracle. --explain\n\
+           prints one per-query trace line to stderr (answer source,\n\
+           merge kind, hub entries scanned, residual-BFS work); stdout\n\
+           stays byte-identical to a run without it. --explain answers\n\
+           sequentially, so it ignores --workers.\n\
        serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
              [--threads T] [--strategy S]) [--workers W] [--listen ADDR]\n\
              [--max-inflight N] [--write-timeout-ms MS]\n\
-             [--reload-signal hup|usr1|none]\n\
+             [--reload-signal hup|usr1|none] [--slow-log-us N]\n\
+             [--slow-log-file F] [--quiet]\n\
            Serving loop: read `u v` per line on stdin. With --workers 1\n\
            (default) answers are flushed per line; --workers W > 1 runs a\n\
            thread pool over the shared index, reading stdin in chunks and\n\
@@ -89,8 +103,18 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            (default 1024) new connects are rejected busy; answers that\n\
            stall past --write-timeout-ms (default 30000) drop that\n\
            connection. SIGTERM/SIGINT or stdin EOF drains gracefully.\n\
-       inspect <FILE.hcl>\n\
+           --slow-log-us N logs every query slower than N µs as one JSON\n\
+           line (endpoints, latency, trace fields, worker, generation) to\n\
+           stderr, or to F with --slow-log-file (rate-limited; drops are\n\
+           counted and reported at shutdown). --quiet suppresses the\n\
+           stderr latency summary line; diagnostics and exit codes are\n\
+           unchanged.\n\
+       inspect <FILE.hcl> [--stats]\n\
            Print header metadata, build statistics, and the section table.\n\
+           --stats adds the label-size histogram (p50/p99/max entries per\n\
+           vertex), the top hubs by label frequency, and the recorded\n\
+           build counters (BFS visits, domination cut rate, per-landmark\n\
+           contributions) when the container carries them (format v5+).\n\
      \n\
      `hcl <graph.edges> [query flags]` (no subcommand) behaves like\n\
      `hcl query <graph.edges>`.";
@@ -286,25 +310,41 @@ fn write_answer(
 /// comments, and diagnosed-and-skipped bad lines (the serve contract:
 /// report to stderr, keep serving). Shared by the sequential loop and the
 /// worker pool's reader so diagnostics stay identical across `--workers`
-/// counts.
+/// counts. Skips are tallied in the shared metrics counters (the same
+/// `hcl_malformed_total` / `hcl_out_of_range_total` the socket server
+/// exports) so the shutdown summary can report them.
 pub(crate) fn validate_serve_pair(
     line: &str,
     lineno: usize,
     n: usize,
+    metrics: &metrics::ServerMetrics,
 ) -> Option<(VertexId, VertexId)> {
     let (u, v) = match parse_pair_line(line, "stdin", lineno) {
         Ok(Some(pair)) => pair,
         Ok(None) => return None,
         Err(msg) => {
+            metrics.malformed.inc();
             eprintln!("error: {msg}");
             return None;
         }
     };
     if u as usize >= n || v as usize >= n {
+        metrics.out_of_range.inc();
         eprintln!("error: stdin:{lineno}: query ({u}, {v}) out of range (n = {n}); skipped");
         return None;
     }
     Some((u, v))
+}
+
+/// One stderr line summarising skipped input, or `None` when nothing was
+/// skipped (the common case stays silent). Printed separately from the
+/// pinned latency summary line, whose field count is part of the CLI
+/// contract.
+fn skipped_summary(metrics: &metrics::ServerMetrics) -> Option<String> {
+    let malformed = metrics.malformed.get();
+    let out_of_range = metrics.out_of_range.get();
+    (malformed + out_of_range > 0)
+        .then(|| format!("skipped: {malformed} malformed, {out_of_range} out of range"))
 }
 
 /// Where the graph + index come from: built in memory from an edge list, or
@@ -437,10 +477,12 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut batch_size = 0usize;
     let mut selection: Option<SelectionStrategy> = None;
+    let mut progress = false;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" | "-o" => out_path = Some(next_value(&mut args, "--out")),
+            "--progress" => progress = true,
             "--landmarks" | "-k" => {
                 num_landmarks = Some(parse_or_usage(
                     next_value(&mut args, "--landmarks"),
@@ -481,7 +523,12 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
         selection,
     };
     let t1 = Instant::now();
-    let index = HighwayCoverIndex::build_with(&graph, &options);
+    let mut progress_sink = |line: String| eprintln!("{line}");
+    let (index, build_stats) = HighwayCoverIndex::build_with_stats(
+        &graph,
+        &options,
+        progress.then_some(&mut progress_sink as &mut dyn FnMut(String)),
+    );
     let build_time = t1.elapsed();
     let stats = index.stats();
     let t2 = Instant::now();
@@ -490,9 +537,32 @@ fn cmd_build(args: Vec<String>) -> Result<(), String> {
         batch_size: options.resolved_batch_size() as u32,
         strategy: options.resolved_selection(),
     };
-    let bytes = hcl_store::save_with(&out_path, &graph, &index, build_info)
+    // The container always carries the build counters (they are
+    // deterministic — independent of thread count — so persisted output
+    // stays byte-identical at every --threads value). Wall times are
+    // not persisted: they would break that identity.
+    let stored_stats = hcl_store::StoredBuildStats::from_build(&build_stats);
+    let bytes = hcl_store::save_with_stats(&out_path, &graph, &index, build_info, &stored_stats)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     let save_time = t2.elapsed();
+
+    if progress {
+        eprintln!(
+            "phases: selection {}µs, searches {}µs over {} batch(es), merge {}µs, closure {}µs",
+            build_stats.selection_us,
+            build_stats.batch_us.iter().sum::<u64>(),
+            build_stats.batch_us.len(),
+            build_stats.merge_us,
+            build_stats.closure_us
+        );
+        eprintln!(
+            "pruning: {} BFS visits, {} label insertions, {} dominated ({:.1}% cut)",
+            build_stats.bfs_visits,
+            build_stats.label_insertions,
+            build_stats.dominated,
+            build_stats.domination_cut_rate() * 100.0
+        );
+    }
 
     eprintln!(
         "graph: {} vertices, {} edges (loaded in {:.1?})",
@@ -543,6 +613,9 @@ struct QueryOptions {
     workers: Option<usize>,
     /// Skip the container checksum pass (`--trusted`; `--index` only).
     trusted: bool,
+    /// Print a per-query trace line to stderr (`--explain`). Stdout stays
+    /// byte-identical to a run without the flag.
+    explain: bool,
 }
 
 fn parse_query_args(args: Vec<String>) -> QueryOptions {
@@ -558,6 +631,7 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         verify: false,
         workers: None,
         trusted: false,
+        explain: false,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -594,6 +668,7 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
                 ))
             }
             "--trusted" => opts.trusted = true,
+            "--explain" => opts.explain = true,
             "--help" | "-h" => help(),
             _ if opts.graph_path.is_none() && !arg.starts_with('-') => opts.graph_path = Some(arg),
             _ => {
@@ -619,6 +694,26 @@ fn parse_query_args(args: Vec<String>) -> QueryOptions {
         usage();
     }
     opts
+}
+
+/// Renders one `--explain` trace line. The format is pinned by the CLI
+/// test suite: fixed key order, `inf` for disconnected pairs, mechanism
+/// tokens from the closed sets in `hcl_index::{AnswerSource, MergeKind}`.
+fn explain_line(u: VertexId, v: VertexId, d: Option<u32>, stats: &QueryStats) -> String {
+    let dist = match d {
+        Some(d) => d.to_string(),
+        None => "inf".to_string(),
+    };
+    format!(
+        "explain: ({u}, {v}) -> {dist} source={} merge={} hub_entries={} \
+         highway_improvements={} bfs_nodes={} bfs_frontier_peak={}",
+        stats.source.as_str(),
+        stats.merge.as_str(),
+        stats.hub_entries_scanned,
+        stats.highway_improvements,
+        stats.bfs_nodes_expanded,
+        stats.bfs_frontier_peak,
+    )
 }
 
 /// The collected query workload: pairs with their 1-based source line
@@ -698,9 +793,29 @@ fn cmd_query(args: Vec<String>) -> Result<(), String> {
     let mut out = std::io::BufWriter::new(stdout.lock());
     // One reused context per worker (a single context when sequential):
     // per-call allocation would dominate µs-scale queries.
-    let workers = resolve_workers(opts.workers);
+    let workers = if opts.explain {
+        1 // --explain traces sequentially; the summary reports it honestly
+    } else {
+        resolve_workers(opts.workers)
+    };
     let t2 = Instant::now();
-    let answers = pool::answer_batch(graph, index, &queries, workers);
+    let answers = if opts.explain {
+        // Explain mode answers sequentially with the stats probe attached,
+        // printing one trace line per query to stderr. Stdout is produced
+        // by the same formatter from the same answers, so it stays
+        // byte-identical to a run without --explain.
+        let mut ctx = QueryContext::new();
+        let mut stats = QueryStats::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        for &(u, v) in &queries {
+            let d = index.query_probed(graph, &mut ctx, u, v, &mut stats);
+            eprintln!("{}", explain_line(u, v, d, &stats));
+            answers.push(d);
+        }
+        answers
+    } else {
+        pool::answer_batch(graph, index, &queries, workers)
+    };
     let query_time = t2.elapsed();
 
     for (&(u, v), &d) in queries.iter().zip(&answers) {
@@ -773,6 +888,9 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut max_inflight = 1024usize;
     let mut write_timeout_ms = 30_000u64;
     let mut reload_signal = Some(server::sig::SIGHUP);
+    let mut slow_log_us: Option<u64> = None;
+    let mut slow_log_file: Option<String> = None;
+    let mut quiet = false;
     let mut listen_only_flag_seen: Option<&'static str> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -817,6 +935,14 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 reload_signal = parse_reload_signal(next_value(&mut args, "--reload-signal"));
                 listen_only_flag_seen = Some("--reload-signal");
             }
+            "--slow-log-us" => {
+                slow_log_us = Some(parse_or_usage(
+                    next_value(&mut args, "--slow-log-us"),
+                    "--slow-log-us",
+                ))
+            }
+            "--slow-log-file" => slow_log_file = Some(next_value(&mut args, "--slow-log-file")),
+            "--quiet" => quiet = true,
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
             _ => {
@@ -846,6 +972,25 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         eprintln!("error: --max-inflight must be at least 1");
         usage();
     }
+    if slow_log_file.is_some() && slow_log_us.is_none() {
+        eprintln!("error: --slow-log-file only applies with --slow-log-us");
+        usage();
+    }
+    // Shared by every serving mode: threshold from --slow-log-us, sink
+    // stderr unless --slow-log-file redirects it.
+    let slow_log = match slow_log_us {
+        Some(us) => {
+            let out: Box<dyn Write + Send> = match &slow_log_file {
+                Some(path) => Box::new(
+                    std::fs::File::create(path)
+                        .map_err(|e| format!("creating slow-log file {path}: {e}"))?,
+                ),
+                None => Box::new(std::io::stderr()),
+            };
+            Some(std::sync::Arc::new(slowlog::SlowLog::new(us, out)))
+        }
+        None => None,
+    };
     let source = Source::prepare(
         index_path.as_deref(),
         graph_path.as_deref(),
@@ -876,6 +1021,8 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                     None
                 },
                 reload,
+                slow_log,
+                quiet,
             },
         );
     }
@@ -897,7 +1044,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 pool::CHUNK
             );
         }
-        let latency = metrics::LatencyHistogram::new();
+        let metrics = metrics::ServerMetrics::new();
         let t0 = Instant::now();
         let summary = pool::serve_pooled(
             graph,
@@ -905,7 +1052,8 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             workers,
             stdin.lock(),
             std::io::stdout(),
-            &latency,
+            &metrics,
+            slow_log.as_deref(),
         )?;
         if summary.closed {
             eprintln!("stdout closed by reader; shutting down");
@@ -917,8 +1065,21 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 t0.elapsed()
             );
         }
-        if let Some(line) = latency.summary_line() {
+        if let Some(line) = skipped_summary(&metrics) {
             eprintln!("{line}");
+        }
+        if !quiet {
+            if let Some(line) = metrics.latency.summary_line() {
+                eprintln!("{line}");
+            }
+        }
+        if let Some(log) = &slow_log {
+            if log.dropped() > 0 {
+                eprintln!(
+                    "slow-log: {} line(s) dropped by the rate limit",
+                    log.dropped()
+                );
+            }
         }
         return Ok(());
     }
@@ -928,30 +1089,65 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut ctx = QueryContext::new();
-    let latency = metrics::LatencyHistogram::new();
+    let metrics = metrics::ServerMetrics::new();
     let mut served = 0u64;
     let t0 = Instant::now();
     for (lineno, line) in stdin.lock().lines().enumerate() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n) else {
+        let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n, &metrics) else {
             continue;
         };
         let t1 = Instant::now();
-        let answer = index.query_with(graph, &mut ctx, u, v);
+        // The probe only rides along when a slow log wants its fields;
+        // the default path keeps the probe-free monomorphisation.
+        let (answer, stats) = match &slow_log {
+            Some(_) => {
+                let mut stats = QueryStats::new();
+                let d = index.query_probed(graph, &mut ctx, u, v, &mut stats);
+                (d, Some(stats))
+            }
+            None => (index.query_with(graph, &mut ctx, u, v), None),
+        };
         if let AnswerSink::Closed = write_answer(&mut out, u, v, answer, true)? {
             // The reader went away (e.g. `hcl serve … | head`): that ends
             // the session, it doesn't fail it.
             eprintln!("stdout closed by reader; shutting down");
             break;
         }
-        latency.record(t1.elapsed());
+        let elapsed = t1.elapsed();
+        metrics.latency.record(elapsed);
+        if let (Some(log), Some(stats)) = (&slow_log, &stats) {
+            log.observe(&slowlog::SlowQuery {
+                endpoint: "stdin",
+                u,
+                v,
+                dist: answer,
+                latency: elapsed,
+                stats,
+                worker: 0,
+                generation: 1,
+            });
+        }
         served += 1;
     }
     if served > 0 {
         eprintln!("served {served} queries in {:.1?}", t0.elapsed());
     }
-    if let Some(line) = latency.summary_line() {
+    if let Some(line) = skipped_summary(&metrics) {
         eprintln!("{line}");
+    }
+    if !quiet {
+        if let Some(line) = metrics.latency.summary_line() {
+            eprintln!("{line}");
+        }
+    }
+    if let Some(log) = &slow_log {
+        if log.dropped() > 0 {
+            eprintln!(
+                "slow-log: {} line(s) dropped by the rate limit",
+                log.dropped()
+            );
+        }
     }
     Ok(())
 }
@@ -960,10 +1156,102 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
 // hcl inspect
 // ---------------------------------------------------------------------------
 
+/// The `inspect --stats` appendix: the label-size distribution, the hubs
+/// that dominate the labels, and the build counters recorded in v5+
+/// containers (older containers print a one-line absence note instead).
+fn write_deep_stats(out: &mut dyn Write, store: &IndexStore) -> std::io::Result<()> {
+    let index = store.index();
+    let offsets = index.label_offsets();
+    let mut sizes: Vec<u64> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+    sizes.sort_unstable();
+    // Nearest-rank quantiles over the exact per-vertex sizes — no
+    // bucketing, the data is right there.
+    let quantile = |q: f64| -> u64 {
+        if sizes.is_empty() {
+            return 0;
+        }
+        let rank = ((q * sizes.len() as f64).ceil() as usize).clamp(1, sizes.len());
+        sizes[rank - 1]
+    };
+    writeln!(out, "label histogram:")?;
+    writeln!(
+        out,
+        "  entries/vertex: p50={} p99={} max={}",
+        quantile(0.50),
+        quantile(0.99),
+        sizes.last().copied().unwrap_or(0)
+    )?;
+
+    let landmarks = index.landmarks();
+    let mut freq = vec![0u64; landmarks.len()];
+    for &entry in index.label_entries() {
+        let (rank, _) = hcl_index::unpack_label_entry(entry);
+        if let Some(slot) = freq.get_mut(rank as usize) {
+            *slot += 1;
+        }
+    }
+    let mut by_freq: Vec<(u64, usize)> = freq
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(r, c)| (c, r))
+        .collect();
+    by_freq.sort_unstable_by_key(|&(count, rank)| (std::cmp::Reverse(count), rank));
+    writeln!(out, "top hubs:")?;
+    if by_freq.is_empty() {
+        writeln!(out, "  (no landmarks)")?;
+    }
+    for (place, &(count, rank)) in by_freq.iter().take(10).enumerate() {
+        writeln!(
+            out,
+            "  #{:<2} vertex {} (rank {rank}): {count} label entries",
+            place + 1,
+            landmarks[rank]
+        )?;
+    }
+
+    match store.build_stats() {
+        Some(bs) => {
+            writeln!(out, "build stats:")?;
+            writeln!(out, "  bfs visits:       {}", bs.bfs_visits)?;
+            writeln!(out, "  label insertions: {}", bs.label_insertions)?;
+            writeln!(
+                out,
+                "  dominated:        {} ({:.1}% of visits cut)",
+                bs.dominated,
+                bs.domination_cut_rate() * 100.0
+            )?;
+            let mut contrib: Vec<(u64, usize)> = bs
+                .landmark_labels
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(r, c)| (c, r))
+                .collect();
+            contrib.sort_unstable_by_key(|&(count, rank)| (std::cmp::Reverse(count), rank));
+            writeln!(out, "  top contributors:")?;
+            for &(count, rank) in contrib.iter().take(10) {
+                writeln!(
+                    out,
+                    "    rank {rank} (vertex {}): {count} labels",
+                    landmarks.get(rank).copied().unwrap_or_default()
+                )?;
+            }
+        }
+        None => writeln!(
+            out,
+            "build stats:   (not recorded; container written before format v5)"
+        )?,
+    }
+    Ok(())
+}
+
 fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
     let mut path: Option<String> = None;
+    let mut show_stats = false;
     for arg in args {
         match arg.as_str() {
+            "--stats" => show_stats = true,
             "--help" | "-h" => help(),
             _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
             _ => {
@@ -1036,6 +1324,9 @@ fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
                 s.elem_size,
                 s.len_bytes / s.elem_size as u64
             )?;
+        }
+        if show_stats {
+            write_deep_stats(out, &store)?;
         }
         out.flush()
     };

@@ -15,6 +15,7 @@
 //! disconnects, write timeouts, oversized lines, and index reloads. The
 //! rendered format is Prometheus-style `name value` lines.
 
+use hcl_index::AnswerSource;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -183,6 +184,16 @@ pub(crate) struct ServerMetrics {
     pub(crate) reloads: Counter,
     /// Reload attempts that failed (the old generation stays live).
     pub(crate) reload_failures: Counter,
+    /// Answers resolved purely by the common-hub label merge.
+    pub(crate) answers_label_hit: Counter,
+    /// Answers where the highway cross-product tightened the label bound.
+    pub(crate) answers_highway: Counter,
+    /// Answers where the residual BFS beat the label/highway bound.
+    pub(crate) answers_bfs: Counter,
+    /// Trivial answers (`u == v`).
+    pub(crate) answers_trivial: Counter,
+    /// Queries whose endpoints are in different components.
+    pub(crate) answers_disconnected: Counter,
     /// Connections currently being handled (gauge).
     pub(crate) inflight: AtomicI64,
     /// Per-request latency across all transports.
@@ -204,8 +215,25 @@ impl ServerMetrics {
             oversized: Counter::new("hcl_oversized_total"),
             reloads: Counter::new("hcl_reloads_total"),
             reload_failures: Counter::new("hcl_reload_failures_total"),
+            answers_label_hit: Counter::new("hcl_answers_label_hit_total"),
+            answers_highway: Counter::new("hcl_answers_highway_total"),
+            answers_bfs: Counter::new("hcl_answers_bfs_total"),
+            answers_trivial: Counter::new("hcl_answers_trivial_total"),
+            answers_disconnected: Counter::new("hcl_answers_disconnected_total"),
             inflight: AtomicI64::new(0),
             latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Bumps the per-mechanism aggregate matching one query's
+    /// [`AnswerSource`] (as classified by `hcl_index::QueryStats`).
+    pub(crate) fn record_source(&self, source: AnswerSource) {
+        match source {
+            AnswerSource::LabelHit => self.answers_label_hit.inc(),
+            AnswerSource::HighwayBound => self.answers_highway.inc(),
+            AnswerSource::ResidualBfs => self.answers_bfs.inc(),
+            AnswerSource::Trivial => self.answers_trivial.inc(),
+            AnswerSource::Disconnected => self.answers_disconnected.inc(),
         }
     }
 
@@ -231,6 +259,11 @@ impl ServerMetrics {
             &self.oversized,
             &self.reloads,
             &self.reload_failures,
+            &self.answers_label_hit,
+            &self.answers_highway,
+            &self.answers_bfs,
+            &self.answers_trivial,
+            &self.answers_disconnected,
         ] {
             let _ = writeln!(out, "{} {}", c.name, c.get());
         }
@@ -329,6 +362,9 @@ mod tests {
         m.requests.inc();
         m.answers.inc();
         m.latency.record(Duration::from_micros(5));
+        m.record_source(AnswerSource::LabelHit);
+        m.record_source(AnswerSource::LabelHit);
+        m.record_source(AnswerSource::ResidualBfs);
         let text = m.render(3);
         for needle in [
             "hcl_up 1\n",
@@ -336,6 +372,11 @@ mod tests {
             "hcl_requests_total 2\n",
             "hcl_answers_total 1\n",
             "hcl_busy_rejected_total 0\n",
+            "hcl_answers_label_hit_total 2\n",
+            "hcl_answers_highway_total 0\n",
+            "hcl_answers_bfs_total 1\n",
+            "hcl_answers_trivial_total 0\n",
+            "hcl_answers_disconnected_total 0\n",
             "hcl_latency_samples 1\n",
             "hcl_latency_us{quantile=\"0.99\"}",
         ] {

@@ -33,10 +33,11 @@
 //! reader/writer sequence window ([`Window`]), so even a pathologically
 //! slow chunk stalling the write front cannot balloon memory.
 
-use crate::metrics::LatencyHistogram;
+use crate::metrics::ServerMetrics;
+use crate::slowlog::{SlowLog, SlowQuery};
 use crate::validate_serve_pair;
 use hcl_core::{GraphView, VertexId};
-use hcl_index::{IndexView, QueryContext};
+use hcl_index::{IndexView, QueryContext, QueryStats};
 use std::collections::HashMap;
 use std::io::{BufRead, ErrorKind, Write};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -122,11 +123,14 @@ pub(crate) struct ServeSummary {
 }
 
 /// One unit of work: input-order sequence number plus the valid pairs of
-/// one chunk.
-type Job = (u64, Vec<(VertexId, VertexId)>);
+/// one chunk, each stamped with its parse time so latency can be measured
+/// end to end (parse → answer on the wire), matching what the socket
+/// front end reports.
+type Job = (u64, Vec<(VertexId, VertexId, Instant)>);
 /// One unit of output: the chunk's sequence number, its formatted answer
-/// lines, and how many answers the chunk holds.
-type Chunk = (u64, String, u64);
+/// lines, and the parse-time stamps riding along so the writer can record
+/// each answer's latency *after* the bytes are flushed.
+type Chunk = (u64, String, Vec<Instant>);
 
 /// Streams `u v` queries from `input` through a pool of `workers` query
 /// threads, writing answers to `output` in input order.
@@ -141,7 +145,8 @@ pub(crate) fn serve_pooled(
     workers: usize,
     input: impl BufRead,
     output: impl Write + Send,
-    latency: &LatencyHistogram,
+    metrics: &ServerMetrics,
+    slow_log: Option<&SlowLog>,
 ) -> Result<ServeSummary, String> {
     let n = graph.num_vertices();
     let shutdown = AtomicBool::new(false);
@@ -159,18 +164,18 @@ pub(crate) fn serve_pooled(
     std::thread::scope(|s| {
         let shutdown = &shutdown;
         let window = &window;
-        for _ in 0..workers {
+        for worker in 0..workers {
             let job_rx = &job_rx;
             let res_tx = res_tx.clone();
-            s.spawn(move || worker_loop(graph, index, job_rx, res_tx, shutdown, latency));
+            s.spawn(move || worker_loop(graph, index, job_rx, res_tx, shutdown, slow_log, worker));
         }
         // The clones above keep the channel open; drop the original so the
         // writer sees EOF once every worker is done.
         drop(res_tx);
 
-        let writer = s.spawn(move || writer_loop(output, res_rx, shutdown, window));
+        let writer = s.spawn(move || writer_loop(output, res_rx, shutdown, window, metrics));
 
-        let read_result = read_loop(n, input, job_tx, shutdown, window, workers);
+        let read_result = read_loop(n, input, job_tx, shutdown, window, workers, metrics);
 
         let summary = writer.join().expect("writer thread panicked")?;
         // A stdin read failure is fatal, exactly as in sequential serving —
@@ -234,10 +239,11 @@ fn read_loop(
     shutdown: &AtomicBool,
     window: &Window,
     workers: usize,
+    metrics: &ServerMetrics,
 ) -> Result<(), String> {
     let width = workers as u64 * WINDOW_CHUNKS_PER_WORKER;
     let mut seq = 0u64;
-    let mut batch: Vec<(VertexId, VertexId)> = Vec::with_capacity(CHUNK);
+    let mut batch: Vec<(VertexId, VertexId, Instant)> = Vec::with_capacity(CHUNK);
     let mut result = Ok(());
     for (lineno, line) in input.lines().enumerate() {
         if shutdown.load(Ordering::Acquire) {
@@ -252,10 +258,13 @@ fn read_loop(
                 break;
             }
         };
-        let Some(pair) = validate_serve_pair(&line, lineno + 1, n) else {
+        let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n, metrics) else {
             continue;
         };
-        batch.push(pair);
+        // Stamp at parse time: the recorded latency then covers queueing,
+        // the query itself, and the in-order write — the same end-to-end
+        // span the socket front end measures.
+        batch.push((u, v, Instant::now()));
         if batch.len() == CHUNK {
             window.wait_for(seq, width);
             let full = std::mem::replace(&mut batch, Vec::with_capacity(CHUNK));
@@ -274,13 +283,19 @@ fn read_loop(
 
 /// Claims chunks, answers them on a private context, formats the output
 /// bytes. Skips the work (but keeps draining) once shutdown is flagged.
+/// When a slow log is attached, every query runs with the stats probe and
+/// over-threshold ones are logged here, with the parse → answer span as
+/// the latency (the writer has not flushed yet, so the wire time is not
+/// in it — but the slow part of a slow query is the queue and the query,
+/// which are).
 fn worker_loop(
     graph: GraphView<'_>,
     index: IndexView<'_>,
     job_rx: &Mutex<Receiver<Job>>,
     res_tx: SyncSender<Chunk>,
     shutdown: &AtomicBool,
-    latency: &LatencyHistogram,
+    slow_log: Option<&SlowLog>,
+    worker: usize,
 ) {
     let mut ctx = QueryContext::new();
     loop {
@@ -294,14 +309,30 @@ fn worker_loop(
             continue; // drain without computing; nobody will write it
         }
         let mut buf = String::with_capacity(pairs.len() * 12);
-        let count = pairs.len() as u64;
-        for (u, v) in pairs {
-            let t0 = Instant::now();
-            let answer = index.query_with(graph, &mut ctx, u, v);
-            latency.record(t0.elapsed());
+        let mut stamps = Vec::with_capacity(pairs.len());
+        for (u, v, stamp) in pairs {
+            let answer = match slow_log {
+                Some(log) => {
+                    let mut stats = QueryStats::new();
+                    let d = index.query_probed(graph, &mut ctx, u, v, &mut stats);
+                    log.observe(&SlowQuery {
+                        endpoint: "stdin",
+                        u,
+                        v,
+                        dist: d,
+                        latency: stamp.elapsed(),
+                        stats: &stats,
+                        worker,
+                        generation: 1,
+                    });
+                    d
+                }
+                None => index.query_with(graph, &mut ctx, u, v),
+            };
             push_answer_line(&mut buf, u, v, answer);
+            stamps.push(stamp);
         }
-        if res_tx.send((seq, buf, count)).is_err() {
+        if res_tx.send((seq, buf, stamps)).is_err() {
             return; // writer gone (can only mean it panicked) — bail out
         }
     }
@@ -319,24 +350,34 @@ fn writer_loop(
     res_rx: Receiver<Chunk>,
     shutdown: &AtomicBool,
     window: &Window,
+    metrics: &ServerMetrics,
 ) -> Result<ServeSummary, String> {
     let mut out = std::io::BufWriter::new(output);
-    let mut pending: HashMap<u64, (String, u64)> = HashMap::new();
+    let mut pending: HashMap<u64, (String, Vec<Instant>)> = HashMap::new();
     let mut next_seq = 0u64;
     let mut served = 0u64;
     let mut closed = false;
     let mut fatal: Option<String> = None;
 
-    while let Ok((seq, buf, count)) = res_rx.recv() {
+    while let Ok((seq, buf, stamps)) = res_rx.recv() {
         if closed || fatal.is_some() {
             continue; // draining: output is done, the pool is winding down
         }
-        pending.insert(seq, (buf, count));
-        while let Some((buf, count)) = pending.remove(&next_seq) {
+        pending.insert(seq, (buf, stamps));
+        while let Some((buf, stamps)) = pending.remove(&next_seq) {
             let res = out.write_all(buf.as_bytes()).and_then(|()| out.flush());
             match res {
                 Ok(()) => {
-                    served += count;
+                    // Latency is recorded only now, after the answers hit
+                    // the wire: parse-stamp to flushed-write, the same
+                    // end-to-end span the socket front end reports.
+                    let now = Instant::now();
+                    for stamp in &stamps {
+                        metrics
+                            .latency
+                            .record(now.saturating_duration_since(*stamp));
+                    }
+                    served += stamps.len() as u64;
                     next_seq += 1;
                     window.advance(next_seq);
                 }

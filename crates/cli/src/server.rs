@@ -41,7 +41,8 @@
 
 use crate::metrics::ServerMetrics;
 use crate::parse_pair_line;
-use hcl_index::QueryContext;
+use crate::slowlog::{SlowLog, SlowQuery};
+use hcl_index::{QueryContext, QueryStats};
 use hcl_store::{GenerationHandle, IndexStore};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -83,6 +84,8 @@ struct ServerState {
     metrics: ServerMetrics,
     shutdown: AtomicBool,
     write_timeout: Duration,
+    /// Slow-query sink (`--slow-log-us`), shared by every handler.
+    slow_log: Option<Arc<SlowLog>>,
 }
 
 /// Server configuration assembled by `cmd_serve`.
@@ -103,6 +106,10 @@ pub(crate) struct ServerConfig {
     /// Unix signal number that triggers a reload (e.g. SIGHUP = 1), if
     /// any.
     pub(crate) reload_signal: Option<i32>,
+    /// Slow-query log (`--slow-log-us` / `--slow-log-file`), if enabled.
+    pub(crate) slow_log: Option<Arc<SlowLog>>,
+    /// Suppress the shutdown latency summary line (`--quiet`).
+    pub(crate) quiet: bool,
 }
 
 /// Runs the socket front end until drained. Returns `Ok` on a graceful
@@ -124,6 +131,7 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         write_timeout: cfg.write_timeout,
+        slow_log: cfg.slow_log,
     });
     sig::install(cfg.reload_signal);
 
@@ -144,10 +152,10 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
     let (conn_tx, conn_rx) = sync_channel::<TcpStream>(cfg.max_inflight);
     let conn_rx = Arc::new(Mutex::new(conn_rx));
     let handlers: Vec<_> = (0..cfg.workers.max(1))
-        .map(|_| {
+        .map(|worker| {
             let rx = Arc::clone(&conn_rx);
             let state = Arc::clone(&state);
-            std::thread::spawn(move || handler_loop(&rx, &state))
+            std::thread::spawn(move || handler_loop(&rx, &state, worker))
         })
         .collect();
 
@@ -226,8 +234,21 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
         m.reloads.get(),
         m.busy_rejected.get(),
     );
-    if let Some(line) = m.latency.summary_line() {
+    if let Some(line) = crate::skipped_summary(m) {
         eprintln!("{line}");
+    }
+    if !cfg.quiet {
+        if let Some(line) = m.latency.summary_line() {
+            eprintln!("{line}");
+        }
+    }
+    if let Some(log) = &state.slow_log {
+        if log.dropped() > 0 {
+            eprintln!(
+                "slow-log: {} line(s) dropped by the rate limit",
+                log.dropped()
+            );
+        }
     }
     Ok(())
 }
@@ -272,7 +293,7 @@ fn reject_busy(stream: TcpStream) {
 /// One handler thread: serves admitted connections one at a time until
 /// the admission channel closes. Owns one reusable [`QueryContext`] —
 /// the per-worker scratch discipline from the stdin pool.
-fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServerState) {
+fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServerState, worker: usize) {
     let mut ctx = QueryContext::new();
     loop {
         let conn = rx.lock().expect("admission queue poisoned").recv();
@@ -286,7 +307,7 @@ fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServerState) {
             continue;
         }
         state.metrics.inflight.fetch_add(1, Ordering::Relaxed);
-        handle_conn(stream, &mut ctx, state);
+        handle_conn(stream, &mut ctx, state, worker);
         state.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -357,7 +378,7 @@ fn looks_like_http(line: &str) -> bool {
 
 /// Serves one connection to completion: protocol sniff on the first
 /// line, then either the newline `u v` loop or one HTTP exchange.
-fn handle_conn(stream: TcpStream, ctx: &mut QueryContext, state: &ServerState) {
+fn handle_conn(stream: TcpStream, ctx: &mut QueryContext, state: &ServerState, worker: usize) {
     let m = &state.metrics;
     let peer = stream
         .peer_addr()
@@ -408,11 +429,11 @@ fn handle_conn(stream: TcpStream, ctx: &mut QueryContext, state: &ServerState) {
                 let text = String::from_utf8_lossy(&line).into_owned();
                 line.clear();
                 if first && looks_like_http(&text) {
-                    handle_http(&text, &mut reader, &mut writer, ctx, state, &peer);
+                    handle_http(&text, &mut reader, &mut writer, ctx, state, &peer, worker);
                     return; // one exchange per HTTP connection
                 }
                 first = false;
-                if !handle_tcp_request(&text, lineno, &mut writer, ctx, state, &peer) {
+                if !handle_tcp_request(&text, lineno, &mut writer, ctx, state, &peer, worker) {
                     return;
                 }
                 if state.shutdown.load(Ordering::Acquire) {
@@ -439,6 +460,7 @@ fn handle_tcp_request(
     ctx: &mut QueryContext,
     state: &ServerState,
     peer: &str,
+    worker: usize,
 ) -> bool {
     let trimmed = text.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
@@ -463,14 +485,34 @@ fn handle_tcp_request(
         eprintln!("error: {peer}:{lineno}: query ({u}, {v}) out of range (n = {n}); skipped");
         return true;
     }
-    let d = store.index().query_with(store.graph(), ctx, u, v);
+    // The stats probe always rides along on the socket path: its cost is
+    // a handful of field writes per query (far below socket overhead),
+    // and it feeds the per-mechanism /metrics counters and the slow log.
+    let mut stats = QueryStats::new();
+    let d = store
+        .index()
+        .query_probed(store.graph(), ctx, u, v, &mut stats);
     let mut buf = String::with_capacity(24);
     crate::pool::push_answer_line(&mut buf, u, v, d);
     if !write_answer_bytes(writer, buf.as_bytes(), state, peer) {
         return false;
     }
-    state.metrics.latency.record(t0.elapsed());
+    let elapsed = t0.elapsed();
+    state.metrics.latency.record(elapsed);
     state.metrics.answers.inc();
+    state.metrics.record_source(stats.source);
+    if let Some(log) = &state.slow_log {
+        log.observe(&SlowQuery {
+            endpoint: "tcp",
+            u,
+            v,
+            dist: d,
+            latency: elapsed,
+            stats: &stats,
+            worker,
+            generation: generation.number,
+        });
+    }
     true
 }
 
@@ -506,6 +548,7 @@ fn write_answer_bytes(
 
 /// Serves one HTTP exchange: drains headers, dispatches on the path,
 /// writes a `Connection: close` response.
+#[allow(clippy::too_many_arguments)]
 fn handle_http(
     request_line: &str,
     reader: &mut impl BufRead,
@@ -513,6 +556,7 @@ fn handle_http(
     ctx: &mut QueryContext,
     state: &ServerState,
     peer: &str,
+    worker: usize,
 ) {
     let m = &state.metrics;
     m.http_requests.inc();
@@ -579,7 +623,7 @@ fn handle_http(
             let body = m.render(state.handle.number());
             respond(writer, state, peer, 200, "OK", "text/plain", &body);
         }
-        "/query" => handle_http_query(query, writer, ctx, state, peer),
+        "/query" => handle_http_query(query, writer, ctx, state, peer, worker),
         "/reload" => match do_reload(state) {
             Ok(generation) => {
                 let body = format!("{{\"ok\":true,\"generation\":{generation}}}\n");
@@ -624,6 +668,7 @@ fn handle_http_query(
     ctx: &mut QueryContext,
     state: &ServerState,
     peer: &str,
+    worker: usize,
 ) {
     state.metrics.requests.inc();
     let t0 = Instant::now();
@@ -665,7 +710,10 @@ fn handle_http_query(
         );
         return;
     }
-    let d = store.index().query_with(store.graph(), ctx, s, t);
+    let mut stats = QueryStats::new();
+    let d = store
+        .index()
+        .query_probed(store.graph(), ctx, s, t, &mut stats);
     let dist = match d {
         Some(d) => d.to_string(),
         None => "null".into(),
@@ -675,8 +723,22 @@ fn handle_http_query(
         generation.number
     );
     if respond(writer, state, peer, 200, "OK", "application/json", &body) {
-        state.metrics.latency.record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        state.metrics.latency.record(elapsed);
         state.metrics.answers.inc();
+        state.metrics.record_source(stats.source);
+        if let Some(log) = &state.slow_log {
+            log.observe(&SlowQuery {
+                endpoint: "http",
+                u: s,
+                v: t,
+                dist: d,
+                latency: elapsed,
+                stats: &stats,
+                worker,
+                generation: generation.number,
+            });
+        }
     }
 }
 

@@ -726,3 +726,99 @@ fn concurrent_queries_survive_repeated_reloads() {
     let (status, stderr) = server.drain();
     assert!(status.success(), "stderr:\n{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// PR-7 observability: per-mechanism counters and the socket slow log
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_exposes_per_mechanism_answer_counters() {
+    let scratch = Scratch::new("mechanism_counters");
+    let index = build_index(
+        &scratch,
+        "ba",
+        &edge_list(&testkit::barabasi_albert(80, 3, 9)),
+        6,
+    );
+    let server = Server::spawn(&index, &[]);
+
+    // A mix that exercises several mechanisms: self-queries (trivial) and
+    // assorted pairs, over TCP and HTTP.
+    let mut input = String::new();
+    for i in 0..40u32 {
+        input.push_str(&format!("{} {}\n", i % 80, (i * 13 + 1) % 80));
+    }
+    input.push_str("7 7\n");
+    let answers = server.tcp_roundtrip(&input);
+    assert_eq!(answers.lines().count(), 41);
+    let (status, _) = server.http_get("/query?s=3&t=3");
+    assert_eq!(status, 200);
+
+    let total = server.wait_metric_at_least("hcl_answers_total", 42, Duration::from_secs(30));
+    // Every answer is classified into exactly one mechanism counter, so
+    // the five must sum to the answer total — and the names themselves
+    // are pinned here (metric() panics on a missing name).
+    let by_mechanism: u64 = [
+        "hcl_answers_label_hit_total",
+        "hcl_answers_highway_total",
+        "hcl_answers_bfs_total",
+        "hcl_answers_trivial_total",
+        "hcl_answers_disconnected_total",
+    ]
+    .iter()
+    .map(|name| server.metric(name))
+    .sum();
+    assert_eq!(
+        by_mechanism, total,
+        "mechanism counters must partition answers"
+    );
+    // The two deliberate self-queries are trivially classified.
+    assert!(server.metric("hcl_answers_trivial_total") >= 2);
+
+    let (status, stderr) = server.drain();
+    assert!(status.success(), "stderr:\n{stderr}");
+}
+
+#[test]
+fn socket_slow_log_emits_valid_json_for_tcp_and_http() {
+    let scratch = Scratch::new("socket_slowlog");
+    let index = build_index(
+        &scratch,
+        "er",
+        &edge_list(&testkit::erdos_renyi(50, 0.1, 5)),
+        5,
+    );
+    let server = Server::spawn(&index, &["--slow-log-us", "0"]);
+
+    let answers = server.tcp_roundtrip("0 13\n4 4\n");
+    assert_eq!(answers.lines().count(), 2);
+    let (status, _) = server.http_get("/query?s=1&t=30");
+    assert_eq!(status, 200);
+    server.wait_metric_at_least("hcl_answers_total", 3, Duration::from_secs(30));
+
+    let (status, stderr) = server.drain();
+    assert!(status.success(), "stderr:\n{stderr}");
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("{\"endpoint\":"))
+        .collect();
+    assert_eq!(lines.len(), 3, "one slow-log line per answer:\n{stderr}");
+    assert!(
+        lines.iter().any(|l| l.contains("\"endpoint\":\"tcp\"")),
+        "no tcp line:\n{stderr}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"endpoint\":\"http\"")),
+        "no http line:\n{stderr}"
+    );
+    for line in &lines {
+        // The full-schema validation lives in tests/observe.rs; here pin
+        // the socket-specific fields: generation and worker are present
+        // and the line is a complete flat object.
+        assert!(line.ends_with('}'), "truncated line: {line}");
+        assert!(line.contains("\"generation\":1}"), "generation: {line}");
+        assert!(line.contains("\"worker\":"), "worker: {line}");
+        assert!(line.contains("\"latency_us\":"), "latency: {line}");
+        assert!(line.contains("\"source\":\""), "source: {line}");
+    }
+}

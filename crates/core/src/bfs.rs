@@ -11,6 +11,35 @@
 use crate::graph::{GraphView, VertexId, INFINITY};
 use std::collections::VecDeque;
 
+/// Observation hooks for BFS-shaped traversals.
+///
+/// Every hook is an empty `#[inline]` default, so a search generic over
+/// `P: BfsProbe` monomorphised with [`NoProbe`] compiles to exactly the
+/// un-instrumented loop — instrumentation is opt-in per *call site*, not a
+/// runtime branch on the hot path. `hcl-index` extends this trait with
+/// label-merge hooks for its query engine; the traversal-shaped hooks live
+/// here because the searches they observe (full oracles, the residual BFS,
+/// the pruned landmark BFS) are all built from this crate's primitives.
+pub trait BfsProbe {
+    /// Called once per vertex expanded (taken off the frontier or pushed
+    /// onto the next one, depending on the traversal's shape).
+    #[inline]
+    fn bfs_node_expanded(&mut self) {}
+
+    /// Called once per completed level with the size of the *next*
+    /// frontier, so an implementation can track the peak frontier width.
+    #[inline]
+    fn bfs_level(&mut self, frontier_len: usize) {
+        let _ = frontier_len;
+    }
+}
+
+/// The do-nothing probe: the zero-cost default for un-instrumented runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl BfsProbe for NoProbe {}
+
 /// Reusable BFS scratch space: one distance array, one FIFO queue, and the
 /// touched-list used to reset the distance array in `O(visited)` instead of
 /// `O(n)`.
@@ -84,6 +113,21 @@ pub fn distances_from_with<'a>(
     src: VertexId,
     scratch: &mut BfsScratch,
 ) {
+    distances_from_probed(graph, src, scratch, &mut NoProbe);
+}
+
+/// [`distances_from_with`] with observation hooks: `probe` sees every
+/// expanded vertex. Monomorphised with [`NoProbe`] this is byte-for-byte
+/// the plain search.
+///
+/// # Panics
+/// Panics if `src` is out of range.
+pub fn distances_from_probed<'a, P: BfsProbe>(
+    graph: impl Into<GraphView<'a>>,
+    src: VertexId,
+    scratch: &mut BfsScratch,
+    probe: &mut P,
+) {
     let graph = graph.into();
     scratch.reset();
     scratch.ensure_capacity(graph.num_vertices());
@@ -91,6 +135,7 @@ pub fn distances_from_with<'a>(
     scratch.touched.push(src);
     scratch.queue.push_back(src);
     while let Some(u) = scratch.queue.pop_front() {
+        probe.bfs_node_expanded();
         let du = scratch.dist[u as usize];
         for &w in graph.neighbors(u) {
             if scratch.dist[w as usize] == INFINITY {
@@ -191,6 +236,26 @@ mod tests {
             assert_eq!(scratch.dist[0], INFINITY);
             assert_eq!(scratch.touched.len(), 2);
         }
+    }
+
+    #[test]
+    fn probed_search_counts_every_expansion() {
+        struct Counting {
+            expanded: u64,
+        }
+        impl BfsProbe for Counting {
+            fn bfs_node_expanded(&mut self) {
+                self.expanded += 1;
+            }
+        }
+        let g = Graph::from_edges(&[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let mut scratch = BfsScratch::new();
+        let mut probe = Counting { expanded: 0 };
+        distances_from_probed(&g, 0, &mut scratch, &mut probe);
+        // The whole 4-vertex component is expanded; the other stays cold.
+        assert_eq!(probe.expanded, 4);
+        assert_eq!(scratch.dist[3], 3);
+        assert_eq!(scratch.dist[4], INFINITY);
     }
 
     #[test]

@@ -33,5 +33,6 @@ pub mod graph;
 pub mod rng;
 pub mod testkit;
 
+pub use bfs::{BfsProbe, NoProbe};
 pub use bitset::DenseBitSet;
 pub use graph::{CsrError, Graph, GraphBuilder, GraphView, VertexId, INFINITY};

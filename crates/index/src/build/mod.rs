@@ -44,7 +44,8 @@ use crate::select::{self, LandmarkSelector, SelectionStrategy};
 use crate::view::IndexView;
 use hcl_core::bfs::BfsScratch;
 use hcl_core::{Graph, VertexId};
-use state::BuildState;
+use state::{BuildState, LandmarkFragment};
+use std::time::Instant;
 
 /// Sentinel rank for vertices that are not landmarks.
 pub(crate) const NOT_A_LANDMARK: u32 = u32::MAX;
@@ -196,6 +197,99 @@ pub(crate) fn sat_add(a: u32, b: u32) -> u32 {
     a.saturating_add(b)
 }
 
+/// Per-build instrumentation: phase wall times and pruning counters,
+/// produced by [`HighwayCoverIndex::build_with_stats`].
+///
+/// The counters (`bfs_visits`, `label_insertions`, `dominated`,
+/// `landmark_labels`) are **thread-count-invariant**: they are pure
+/// functions of the graph, selection, and batch size, exactly like the
+/// built index itself — which is why they are safe to persist in the
+/// container (`hcl-store` section kind 10) without breaking the build's
+/// byte-identity guarantee. The wall times are, of course, per-run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Wall time of landmark selection, in microseconds.
+    pub selection_us: u64,
+    /// Wall time of each landmark batch's pruned searches, in
+    /// microseconds, in batch order.
+    pub batch_us: Vec<u64>,
+    /// Cumulative wall time of folding fragments back into the shared
+    /// state, in microseconds.
+    pub merge_us: u64,
+    /// Wall time of the highway Floyd–Warshall closure plus the CSR label
+    /// flatten, in microseconds.
+    pub closure_us: u64,
+    /// Whole-build wall time, in microseconds.
+    pub total_us: u64,
+    /// Vertices dequeued across all pruned landmark searches.
+    pub bfs_visits: u64,
+    /// Label entries inserted (including each landmark's own root entry).
+    pub label_insertions: u64,
+    /// Visited vertices cut by domination pruning.
+    pub dominated: u64,
+    /// Label entries contributed by each landmark, in rank order.
+    pub landmark_labels: Vec<u64>,
+}
+
+impl BuildStats {
+    /// Fraction of visited vertices cut by domination pruning, in `0..=1`
+    /// (`0` when nothing was visited).
+    pub fn domination_cut_rate(&self) -> f64 {
+        if self.bfs_visits == 0 {
+            0.0
+        } else {
+            self.dominated as f64 / self.bfs_visits as f64
+        }
+    }
+}
+
+/// Driver-side observation state: the stats being accumulated plus an
+/// optional live progress sink (one human-readable line per event).
+pub(crate) struct Observer<'s, 'p> {
+    pub(crate) stats: &'s mut BuildStats,
+    pub(crate) progress: Option<&'p mut dyn FnMut(String)>,
+}
+
+impl Observer<'_, '_> {
+    fn emit(&mut self, line: impl FnOnce() -> String) {
+        if let Some(sink) = self.progress.as_mut() {
+            sink(line());
+        }
+    }
+
+    /// Records one completed batch: `frags` must already be in rank order
+    /// (both drivers guarantee it), `us` is the batch's search wall time.
+    pub(crate) fn record_batch(
+        &mut self,
+        start: usize,
+        end: usize,
+        k: usize,
+        us: u64,
+        frags: &[LandmarkFragment],
+    ) {
+        let mut visits = 0u64;
+        let mut labels = 0u64;
+        let mut dominated = 0u64;
+        for frag in frags {
+            visits += frag.visits;
+            labels += frag.labelled.len() as u64;
+            dominated += frag.dominated;
+            self.stats.landmark_labels[frag.rank] = frag.labelled.len() as u64;
+        }
+        self.stats.batch_us.push(us);
+        self.stats.bfs_visits += visits;
+        self.stats.label_insertions += labels;
+        self.stats.dominated += dominated;
+        let batch = self.stats.batch_us.len();
+        self.emit(|| {
+            format!(
+                "batch {batch}: landmarks {start}..{end} of {k} in {us} µs \
+                 (visits {visits}, labels {labels}, dominated {dominated})"
+            )
+        });
+    }
+}
+
 /// Size and shape statistics of a built index, for logging and tuning.
 #[derive(Clone, Copy, Debug)]
 pub struct IndexStats {
@@ -277,6 +371,37 @@ impl HighwayCoverIndex {
         Self::build_in(graph, options, &mut contexts)
     }
 
+    /// [`HighwayCoverIndex::build_with`] plus instrumentation: returns the
+    /// index together with [`BuildStats`] (phase wall times, pruning
+    /// counters, per-landmark label contributions), and streams one
+    /// human-readable line per build event to `progress` when given (the
+    /// CLI's `build --progress` prints them to stderr as phases finish).
+    ///
+    /// Instrumentation never changes the output: the index is byte-
+    /// identical to a [`build_with`](Self::build_with) run, and the stats
+    /// counters are thread-count-invariant (see [`BuildStats`]).
+    pub fn build_with_stats(
+        graph: &Graph,
+        options: &BuildOptions,
+        progress: Option<&mut dyn FnMut(String)>,
+    ) -> (Self, BuildStats) {
+        let threads = options
+            .resolved_threads()
+            .clamp(1, options.resolved_batch_size());
+        let mut contexts: Vec<BuildContext> = (0..threads).map(|_| BuildContext::new()).collect();
+        let selector = options.resolved_selection().selector();
+        let mut stats = BuildStats::default();
+        let index = Self::build_observed(
+            graph,
+            options,
+            &mut contexts,
+            selector.as_ref(),
+            &mut stats,
+            progress,
+        );
+        (index, stats)
+    }
+
     /// Builds the index reusing caller-owned worker scratch — the
     /// allocation-amortising form of [`HighwayCoverIndex::build_with`] for
     /// repeated builds (benchmarks, rebuild loops).
@@ -313,24 +438,79 @@ impl HighwayCoverIndex {
         contexts: &mut [BuildContext],
         selector: &dyn LandmarkSelector,
     ) -> Self {
+        Self::build_observed(
+            graph,
+            options,
+            contexts,
+            selector,
+            &mut BuildStats::default(),
+            None,
+        )
+    }
+
+    /// The one real build path: every public entry point funnels here.
+    /// `stats` is always populated (the un-instrumented entries hand in a
+    /// throwaway — the bookkeeping is a handful of timestamps and counter
+    /// folds per *batch*, noise next to the searches a batch contains);
+    /// `progress` streams per-phase lines when given.
+    fn build_observed(
+        graph: &Graph,
+        options: &BuildOptions,
+        contexts: &mut [BuildContext],
+        selector: &dyn LandmarkSelector,
+        stats: &mut BuildStats,
+        progress: Option<&mut dyn FnMut(String)>,
+    ) -> Self {
+        let t_total = Instant::now();
         let graph = graph.as_view();
         let batch_size = options.resolved_batch_size();
         let num_landmarks = options.num_landmarks.min(graph.num_vertices());
         // Contexts beyond the per-batch job count could never receive
         // work; cap the pool so no idle worker threads get spawned.
         let workers = contexts.len().min(batch_size).min(num_landmarks);
+        let t = Instant::now();
         let landmarks = if workers > 1 {
             parallel::run_selection(graph, selector, num_landmarks)
         } else {
             select::checked_select(selector, graph, num_landmarks)
         };
+        stats.selection_us = t.elapsed().as_micros() as u64;
+        stats.landmark_labels = vec![0; landmarks.len()];
+        let sel_us = stats.selection_us;
+        let mut obs = Observer { stats, progress };
+        obs.emit(|| {
+            format!(
+                "select: {} landmark(s) [{}] in {sel_us} µs",
+                landmarks.len(),
+                selector.name()
+            )
+        });
         let mut state = BuildState::new(graph, landmarks);
         match &mut contexts[..workers] {
-            [] => sequential::run(graph, &mut state, batch_size, &mut BuildContext::new()),
-            [cx] => sequential::run(graph, &mut state, batch_size, cx),
-            many => parallel::run(graph, &mut state, batch_size, many),
+            [] => sequential::run(
+                graph,
+                &mut state,
+                batch_size,
+                &mut BuildContext::new(),
+                &mut obs,
+            ),
+            [cx] => sequential::run(graph, &mut state, batch_size, cx, &mut obs),
+            many => parallel::run(graph, &mut state, batch_size, many, &mut obs),
         }
-        state.finish()
+        let t = Instant::now();
+        let index = state.finish();
+        obs.stats.closure_us = t.elapsed().as_micros() as u64;
+        let closure_us = obs.stats.closure_us;
+        obs.emit(|| format!("closure: highway closed + labels flattened in {closure_us} µs"));
+        obs.stats.total_us = t_total.elapsed().as_micros() as u64;
+        let (total, cut) = (obs.stats.total_us, obs.stats.domination_cut_rate());
+        obs.emit(|| {
+            format!(
+                "build: done in {total} µs (domination cut {:.1} %)",
+                cut * 100.0
+            )
+        });
+        index
     }
 
     /// A borrowed, `Copy` view of this index. Cheap; this is the type the
@@ -463,6 +643,49 @@ mod tests {
             assert_eq!(tight.query(&g, u, v), expected);
             assert_eq!(batched.query(&g, u, v), expected);
         }
+    }
+
+    #[test]
+    fn build_stats_counters_are_thread_invariant_and_consistent() {
+        let g = testkit::barabasi_albert(80, 3, 7);
+        let opts = |threads| BuildOptions {
+            num_landmarks: 12,
+            threads,
+            ..BuildOptions::default()
+        };
+        let mut lines = Vec::new();
+        let mut sink = |l: String| lines.push(l);
+        let (idx1, s1) = HighwayCoverIndex::build_with_stats(&g, &opts(1), Some(&mut sink));
+        let (idx4, s4) = HighwayCoverIndex::build_with_stats(&g, &opts(4), None);
+
+        // The counters are pure functions of (graph, selection, batch
+        // size) — identical across thread counts, like the index itself.
+        assert_eq!(s1.bfs_visits, s4.bfs_visits);
+        assert_eq!(s1.label_insertions, s4.label_insertions);
+        assert_eq!(s1.dominated, s4.dominated);
+        assert_eq!(s1.landmark_labels, s4.landmark_labels);
+        assert_eq!(
+            idx1.stats().total_label_entries,
+            idx4.stats().total_label_entries
+        );
+
+        // Internal consistency: insertions account for every label entry,
+        // and every visit was either another landmark, dominated, or
+        // labelled.
+        assert_eq!(s1.label_insertions, idx1.stats().total_label_entries as u64);
+        assert_eq!(s1.landmark_labels.iter().sum::<u64>(), s1.label_insertions);
+        assert!(s1.bfs_visits >= s1.label_insertions + s1.dominated);
+        assert!(s1.domination_cut_rate() >= 0.0 && s1.domination_cut_rate() <= 1.0);
+
+        // 12 landmarks at the default batch size of 8 → 2 batches.
+        assert_eq!(s1.batch_us.len(), 2);
+
+        // The progress sink saw every phase.
+        assert!(lines.iter().any(|l| l.starts_with("select: ")));
+        assert!(lines.iter().any(|l| l.starts_with("batch 1: ")));
+        assert!(lines.iter().any(|l| l.starts_with("batch 2: ")));
+        assert!(lines.iter().any(|l| l.starts_with("closure: ")));
+        assert!(lines.iter().any(|l| l.starts_with("build: done")));
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! microseconds per batch — noise next to the BFS work a batch contains.
 
 use super::state::{pruned_bfs, BuildState, LandmarkFragment};
-use super::BuildContext;
+use super::{BuildContext, Observer};
 use crate::select::{checked_select, LandmarkSelector};
 use hcl_core::{GraphView, VertexId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread::ScopedJoinHandle;
+use std::time::Instant;
 
 /// Joins every handle, collecting the results; if any worker panicked,
 /// re-raises **after all workers are joined** as one coherent build panic.
@@ -82,6 +83,7 @@ pub(crate) fn run(
     state: &mut BuildState,
     batch_size: usize,
     contexts: &mut [BuildContext],
+    obs: &mut Observer<'_, '_>,
 ) {
     let k = state.num_landmarks();
     let mut start = 0usize;
@@ -89,6 +91,7 @@ pub(crate) fn run(
         let end = (start + batch_size).min(k);
         let cursor = AtomicUsize::new(start);
         let snapshot: &BuildState = state;
+        let t = Instant::now();
         let mut frags: Vec<LandmarkFragment> = std::thread::scope(|s| {
             let handles: Vec<_> = contexts
                 .iter_mut()
@@ -110,9 +113,12 @@ pub(crate) fn run(
             join_workers(handles).into_iter().flatten().collect()
         });
         frags.sort_unstable_by_key(|f| f.rank);
+        obs.record_batch(start, end, k, t.elapsed().as_micros() as u64, &frags);
+        let t = Instant::now();
         for frag in frags {
             state.merge(frag);
         }
+        obs.stats.merge_us += t.elapsed().as_micros() as u64;
         start = end;
     }
 }

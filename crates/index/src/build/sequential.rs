@@ -9,14 +9,16 @@
 //! [`BuildContext`](super::BuildContext).
 
 use super::state::{pruned_bfs, BuildState};
-use super::BuildContext;
+use super::{BuildContext, Observer};
 use hcl_core::GraphView;
+use std::time::Instant;
 
 pub(crate) fn run(
     graph: GraphView<'_>,
     state: &mut BuildState,
     batch_size: usize,
     cx: &mut BuildContext,
+    obs: &mut Observer<'_, '_>,
 ) {
     let k = state.num_landmarks();
     let mut start = 0usize;
@@ -25,12 +27,16 @@ pub(crate) fn run(
         // Collect the whole batch before merging: `pruned_bfs` holds the
         // state by shared reference, so later searches in the batch cannot
         // accidentally observe earlier ones — same visibility as workers.
+        let t = Instant::now();
         let frags: Vec<_> = (start..end)
             .map(|rank| pruned_bfs(graph, state, rank, cx))
             .collect();
+        obs.record_batch(start, end, k, t.elapsed().as_micros() as u64, &frags);
+        let t = Instant::now();
         for frag in frags {
             state.merge(frag);
         }
+        obs.stats.merge_us += t.elapsed().as_micros() as u64;
         start = end;
     }
 }

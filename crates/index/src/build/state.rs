@@ -30,9 +30,14 @@ pub(crate) struct BuildState {
 pub(crate) struct LandmarkFragment {
     pub(crate) rank: usize,
     /// `(vertex, distance)` pairs to become `(rank, distance)` labels.
-    labelled: Vec<(VertexId, u32)>,
+    pub(crate) labelled: Vec<(VertexId, u32)>,
     /// `(other rank, depth)` highway seeds discovered by this search.
     highway_seeds: Vec<(u32, u32)>,
+    /// Vertices the search dequeued (pruned or not) — the BFS's raw work.
+    pub(crate) visits: u64,
+    /// Vertices cut by domination pruning (visited, neither labelled nor
+    /// expanded).
+    pub(crate) dominated: u64,
 }
 
 impl BuildState {
@@ -161,6 +166,8 @@ pub(crate) fn pruned_bfs(
         rank,
         labelled: vec![(root, 0)],
         highway_seeds: Vec::new(),
+        visits: 0,
+        dominated: 0,
     };
 
     cx.scratch.reset();
@@ -174,6 +181,7 @@ pub(crate) fn pruned_bfs(
     cx.scratch.queue.push_back(root);
 
     while let Some(v) = cx.scratch.queue.pop_front() {
+        frag.visits += 1;
         let d = cx.scratch.dist[v as usize];
         if v != root {
             let other = state.landmark_rank[v as usize];
@@ -194,6 +202,7 @@ pub(crate) fn pruned_bfs(
                 h != INFINITY && sat_add(h, dj) <= d
             });
             if dominated {
+                frag.dominated += 1;
                 continue;
             }
             frag.labelled.push((v, d));

@@ -41,15 +41,25 @@
 //! Every query result is exact; the test suite property-checks the engine
 //! against the plain BFS oracle from `hcl-core` over multiple graph
 //! families, seeds, and landmark counts.
+//!
+//! Observability is a compile-time opt-in: the query path is generic over
+//! the [`Probe`] trait (no-op by default, so un-instrumented queries pay
+//! nothing) and [`QueryStats`] is the standard collector; builds report
+//! deterministic pruning counters and per-phase wall times through
+//! [`BuildStats`] / [`HighwayCoverIndex::build_with_stats`].
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod build;
+mod probe;
 mod query;
 mod select;
 mod view;
 
-pub use build::{BuildContext, BuildOptions, HighwayCoverIndex, IndexConfig, IndexStats};
+pub use build::{
+    BuildContext, BuildOptions, BuildStats, HighwayCoverIndex, IndexConfig, IndexStats,
+};
+pub use probe::{AnswerSource, MergeKind, Probe, QueryStats};
 pub use query::QueryContext;
 pub use select::{ApproxCoverage, DegreeRank, LandmarkSelector, SeededRandom, SelectionStrategy};
 pub use view::{pack_label_entry, unpack_label_entry, IndexDataError, IndexView};

@@ -20,9 +20,19 @@
 //! matrix, and the residual BFS tests landmark membership against a dense
 //! bitset — one bit per vertex instead of a 4-byte rank-table load.
 
+//!
+//! # Observability
+//!
+//! Every phase is generic over a [`Probe`]: the public `query_with` entry
+//! monomorphises with [`NoProbe`] (all hooks are empty inline defaults, so
+//! the compiler erases them), while [`IndexView::query_probed`] accepts a
+//! caller-supplied collector such as [`crate::QueryStats`] that records
+//! which mechanism answered and how much work each phase did.
+
 use crate::build::HighwayCoverIndex;
+use crate::probe::Probe;
 use crate::view::{entry_dist, entry_hub, IndexView};
-use hcl_core::{DenseBitSet, Graph, GraphView, VertexId, INFINITY};
+use hcl_core::{DenseBitSet, Graph, GraphView, NoProbe, VertexId, INFINITY};
 
 const INF64: u64 = u64::MAX;
 
@@ -125,6 +135,19 @@ impl HighwayCoverIndex {
     ) -> Option<u32> {
         self.as_view().query_with(graph, ctx, u, v)
     }
+
+    /// [`query_with`](Self::query_with) with observation hooks. See
+    /// [`IndexView::query_probed`].
+    pub fn query_probed<P: Probe>(
+        &self,
+        graph: &Graph,
+        ctx: &mut QueryContext,
+        u: VertexId,
+        v: VertexId,
+        probe: &mut P,
+    ) -> Option<u32> {
+        self.as_view().query_probed(graph, ctx, u, v, probe)
+    }
 }
 
 impl<'a> IndexView<'a> {
@@ -154,6 +177,26 @@ impl<'a> IndexView<'a> {
         u: VertexId,
         v: VertexId,
     ) -> Option<u32> {
+        self.query_probed(graph, ctx, u, v, &mut NoProbe)
+    }
+
+    /// [`query_with`](Self::query_with) with observation hooks: `probe`
+    /// sees each phase (merge, highway pass, residual BFS) as it runs.
+    /// Pass `&mut` [`crate::QueryStats`] to collect a per-query work
+    /// breakdown; monomorphised with [`NoProbe`] this is the plain query
+    /// path. The answer is identical for every probe — probes observe,
+    /// they never steer.
+    ///
+    /// # Panics
+    /// Same contract as [`query_with`](Self::query_with).
+    pub fn query_probed<'g, P: Probe>(
+        &self,
+        graph: impl Into<GraphView<'g>>,
+        ctx: &mut QueryContext,
+        u: VertexId,
+        v: VertexId,
+        probe: &mut P,
+    ) -> Option<u32> {
         let graph = graph.into();
         let n = self.num_vertices();
         assert_eq!(
@@ -162,12 +205,15 @@ impl<'a> IndexView<'a> {
             "index was built for a different graph"
         );
         assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+        probe.query_start();
         if u == v {
+            probe.query_done(true, INF64, 0);
             return Some(0);
         }
 
-        let bound = self.label_upper_bound(u, v);
-        let best = self.residual_bfs(graph, ctx, u, v, bound);
+        let bound = self.label_upper_bound(u, v, probe);
+        let best = self.residual_bfs(graph, ctx, u, v, bound, probe);
+        probe.query_done(false, bound, best);
         if best == INF64 {
             None
         } else {
@@ -179,7 +225,7 @@ impl<'a> IndexView<'a> {
     ///
     /// Exact whenever some shortest `u`–`v` path passes through a landmark;
     /// `u64::MAX` when the labels certify nothing.
-    fn label_upper_bound(&self, u: VertexId, v: VertexId) -> u64 {
+    fn label_upper_bound<P: Probe>(&self, u: VertexId, v: VertexId, probe: &mut P) -> u64 {
         let (u_lo, u_hi) = (
             self.label_offsets[u as usize] as usize,
             self.label_offsets[u as usize + 1] as usize,
@@ -198,7 +244,7 @@ impl<'a> IndexView<'a> {
         // manufacture near-overflow "distances".
 
         // Fast path: merge over common hubs (the classic 2-hop join).
-        let mut best = common_hub_bound(lu, lv);
+        let mut best = common_hub_bound(lu, lv, probe);
 
         if lu.is_empty() || lv.is_empty() {
             return best;
@@ -243,6 +289,7 @@ impl<'a> IndexView<'a> {
                 let cand = base + hw as u64;
                 if cand < best {
                     best = cand;
+                    probe.highway_improved(best);
                 }
             }
         }
@@ -260,13 +307,14 @@ impl<'a> IndexView<'a> {
     /// frontier is never missed. The search stops as soon as the two
     /// frontier depths certify that no undiscovered landmark-free path can
     /// beat the current best.
-    fn residual_bfs(
+    fn residual_bfs<P: Probe>(
         &self,
         graph: GraphView<'_>,
         ctx: &mut QueryContext,
         u: VertexId,
         v: VertexId,
         bound: u64,
+        probe: &mut P,
     ) -> u64 {
         let n = self.num_vertices();
         ctx.ensure_capacity(n);
@@ -309,6 +357,7 @@ impl<'a> IndexView<'a> {
             ctx.next.clear();
             let next_depth = (*depth + 1) as u32;
             for &x in frontier {
+                probe.bfs_node_expanded();
                 for &w in graph.neighbors(x) {
                     let other = dist_other[w as usize];
                     if other != INFINITY {
@@ -325,6 +374,7 @@ impl<'a> IndexView<'a> {
                 }
             }
             *depth += 1;
+            probe.bfs_level(ctx.next.len());
             if forward {
                 std::mem::swap(&mut ctx.frontier_fwd, &mut ctx.next);
             } else {
@@ -347,23 +397,24 @@ impl<'a> IndexView<'a> {
 /// Chooses between a linear two-pointer merge and a galloping merge by the
 /// size ratio: on skewed pairs (leaf label vs. hub label) galloping turns
 /// the join from `O(small + large)` into `O(small · log large)`.
-fn common_hub_bound(lu: &[u64], lv: &[u64]) -> u64 {
+fn common_hub_bound<P: Probe>(lu: &[u64], lv: &[u64], probe: &mut P) -> u64 {
     let (small, large) = if lu.len() <= lv.len() {
         (lu, lv)
     } else {
         (lv, lu)
     };
     if small.is_empty() {
+        probe.merge_done(false, 0, INF64);
         return INF64;
     }
     if large.len() / small.len() >= GALLOP_RATIO {
-        galloping_merge_bound(small, large)
+        galloping_merge_bound(small, large, probe)
     } else {
-        linear_merge_bound(small, large)
+        linear_merge_bound(small, large, probe)
     }
 }
 
-fn linear_merge_bound(a: &[u64], b: &[u64]) -> u64 {
+fn linear_merge_bound<P: Probe>(a: &[u64], b: &[u64], probe: &mut P) -> u64 {
     let mut best = INF64;
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -381,6 +432,10 @@ fn linear_merge_bound(a: &[u64], b: &[u64]) -> u64 {
             }
         }
     }
+    // Scanned = entry positions consumed on both sides — derived from the
+    // two cursors the merge maintains anyway, so a no-op probe costs
+    // nothing here.
+    probe.merge_done(false, i + j, best);
     best
 }
 
@@ -388,11 +443,16 @@ fn linear_merge_bound(a: &[u64], b: &[u64]) -> u64 {
 /// then binary search) through the remaining suffix of `large`. Entries
 /// are hub-sorted, and hubs occupy the high 32 bits, so hub comparisons
 /// are plain `u64` comparisons on `entry & HUB_MASK`.
-fn galloping_merge_bound(small: &[u64], large: &[u64]) -> u64 {
+fn galloping_merge_bound<P: Probe>(small: &[u64], large: &[u64], probe: &mut P) -> u64 {
     const HUB_MASK: u64 = 0xFFFF_FFFF_0000_0000;
     let mut best = INF64;
     let mut from = 0usize;
+    // `used` counts small-side entries processed; together with `from`
+    // (positions passed in `large`) it is the merge's scanned-entries
+    // figure. Dead with a no-op probe, so the optimiser drops it.
+    let mut used = 0usize;
     for &es in small {
+        used += 1;
         let target = es & HUB_MASK;
         // Exponential probe: find a window [from + step/2, from + step]
         // whose upper end is at or past the target hub.
@@ -421,6 +481,7 @@ fn galloping_merge_bound(small: &[u64], large: &[u64]) -> u64 {
             break;
         }
     }
+    probe.merge_done(true, used + from, best);
     best
 }
 
@@ -474,12 +535,21 @@ mod tests {
             let a = make(trial % 7, 40);
             let b = make(3 + (trial % 61), 40);
             let expected = brute(&a, &b);
-            assert_eq!(common_hub_bound(&a, &b), expected, "trial {trial}");
-            assert_eq!(common_hub_bound(&b, &a), expected, "trial {trial} swapped");
-            assert_eq!(linear_merge_bound(&a, &b), expected, "trial {trial} linear");
+            let p = &mut NoProbe;
+            assert_eq!(common_hub_bound(&a, &b, p), expected, "trial {trial}");
+            assert_eq!(
+                common_hub_bound(&b, &a, p),
+                expected,
+                "trial {trial} swapped"
+            );
+            assert_eq!(
+                linear_merge_bound(&a, &b, p),
+                expected,
+                "trial {trial} linear"
+            );
             if !a.is_empty() {
                 assert_eq!(
-                    galloping_merge_bound(&a, &b),
+                    galloping_merge_bound(&a, &b, p),
                     expected,
                     "trial {trial} gallop"
                 );
@@ -489,18 +559,53 @@ mod tests {
 
     #[test]
     fn gallop_handles_boundary_shapes() {
+        let p = &mut NoProbe;
         let empty: &[u64] = &[];
         let one = entries(&[(5, 2)]);
         let many = entries(&[(0, 1), (2, 9), (5, 3), (9, 0), (31, 7)]);
-        assert_eq!(common_hub_bound(empty, &many), INF64);
-        assert_eq!(common_hub_bound(&one, empty), INF64);
-        assert_eq!(galloping_merge_bound(&one, &many), 5);
+        assert_eq!(common_hub_bound(empty, &many, p), INF64);
+        assert_eq!(common_hub_bound(&one, empty, p), INF64);
+        assert_eq!(galloping_merge_bound(&one, &many, p), 5);
         // Target hub past the end of `large`.
         let high = entries(&[(40, 1)]);
-        assert_eq!(galloping_merge_bound(&high, &many), INF64);
+        assert_eq!(galloping_merge_bound(&high, &many, p), INF64);
         // Target hub before the start of `large`.
         let low = entries(&[(0, 4)]);
         let tail = entries(&[(7, 1), (8, 2)]);
-        assert_eq!(galloping_merge_bound(&low, &tail), INF64);
+        assert_eq!(galloping_merge_bound(&low, &tail, p), INF64);
+    }
+
+    #[test]
+    fn probed_queries_match_plain_queries_and_classify() {
+        use crate::probe::{AnswerSource, QueryStats};
+        use crate::{HighwayCoverIndex, IndexConfig};
+        for (name, g) in hcl_core::testkit::families() {
+            for k in [0usize, 1, 4] {
+                let index = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+                let iv = index.as_view();
+                let mut ctx = QueryContext::new();
+                let mut stats = QueryStats::new();
+                let n = g.num_vertices();
+                let mut rng = hcl_core::testkit::SplitMix64::new(0xBEEF ^ k as u64);
+                for _ in 0..(n * 2).min(200) {
+                    let u = rng.next_below(n as u64) as VertexId;
+                    let v = rng.next_below(n as u64) as VertexId;
+                    let plain = iv.query_with(&g, &mut ctx, u, v);
+                    let probed = iv.query_probed(&g, &mut ctx, u, v, &mut stats);
+                    assert_eq!(plain, probed, "{name} k={k} ({u},{v})");
+                    match stats.source {
+                        AnswerSource::Trivial => assert_eq!(u, v),
+                        AnswerSource::Disconnected => assert_eq!(plain, None),
+                        AnswerSource::LabelHit | AnswerSource::HighwayBound => {
+                            assert_eq!(plain.map(u64::from), Some(stats.label_bound));
+                        }
+                        AnswerSource::ResidualBfs => {
+                            assert!(plain.is_some_and(|d| u64::from(d) < stats.label_bound));
+                            assert!(stats.bfs_nodes_expanded > 0);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,9 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic "HCLSTOR1"
 //!      8     4  format version (u32 LE)
-//!     12     4  section count (u32 LE) — 7 in versions 3/4, 8 in version 2
+//!     12     4  section count (u32 LE) — 8 in version 2, 7 in versions
+//!               3/4, 7 or 8 in version 5 (the build-stats section is
+//!               optional)
 //!     16     8  total file length in bytes (u64 LE)
 //!     24     8  CRC-64/ECMA of the whole file with this field zeroed
 //!     32     8  num_vertices (u64 LE)
@@ -52,17 +54,22 @@
 //! * v4: grew the header from 80 to 96 bytes, recording the
 //!   landmark-selection strategy tag and seed
 //!   ([`hcl_index::SelectionStrategy`]); sections unchanged from v3.
+//! * v5: added an **optional** `build_stats` section (kind 10, `u64`
+//!   elements) holding the thread-count-invariant build counters — see
+//!   [`StoredBuildStats`] for the payload layout. Header and the seven
+//!   core sections are unchanged from v4; a v5 file without the stats
+//!   section is byte-identical to a v4 file except for the version field.
 //!
-//! This reader accepts **v2, v3, and v4**. v2 files are served through a
+//! This reader accepts **v2 through v5**. v2 files are served through a
 //! converting open: the two `u32` sections are packed once into an owned
 //! entry array at load (`O(entries)` time and `8·entries` bytes of heap;
 //! the rest of the file still serves zero-copy from the map). v2 and v3
 //! files predate recorded selection strategies and load as
 //! `SelectionStrategy::DegreeRank` — the only strategy that existed when
-//! they were written. Writers always emit v4; [`serialize_v2_with`] and
-//! [`serialize_v3_with`] exist so tests and migration tooling can
-//! fabricate legacy containers. Unknown versions are rejected with a
-//! typed error rather than mis-read.
+//! they were written. Writers always emit v5; [`serialize_v2_with`],
+//! [`serialize_v3_with`], and [`serialize_v4_with`] exist so tests and
+//! migration tooling can fabricate legacy containers. Unknown versions are
+//! rejected with a typed error rather than mis-read.
 //!
 //! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
 //! all section offsets 8-byte aligned — which is exactly what lets a
@@ -81,10 +88,10 @@ use std::ops::Range;
 
 /// File magic: "HCLSTOR1".
 pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
-/// Format version this build writes (v4: 96-byte header recording the
-/// landmark-selection strategy, packed `u64` label entries in a single
-/// section). Versions 2 through 4 are readable.
-pub const FORMAT_VERSION: u32 = 4;
+/// Format version this build writes (v5: v4's 96-byte header and packed
+/// `u64` label entries, plus an optional `build_stats` section). Versions
+/// 2 through 5 are readable.
+pub const FORMAT_VERSION: u32 = 5;
 /// Oldest format version this build still reads (v2: split
 /// `label_hubs`/`label_dists` sections, served through a converting open).
 pub const OLDEST_READABLE_VERSION: u32 = 2;
@@ -117,10 +124,10 @@ const SECTION_ENTRY_LEN: usize = 24;
 const NUM_SECTIONS_V2: usize = 8;
 const NUM_SECTIONS_V3: usize = 7;
 /// Highest section-kind discriminant across all readable versions.
-const MAX_SECTION_KINDS: usize = 9;
+const MAX_SECTION_KINDS: usize = 10;
 
 /// Section kinds across all readable versions. Kinds 6/7 only appear in
-/// v2 files, kind 9 in v3 and later.
+/// v2 files, kind 9 in v3 and later, kind 10 (optionally) in v5 and later.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum SectionKind {
@@ -133,6 +140,7 @@ enum SectionKind {
     LabelDists = 7,
     Highway = 8,
     LabelEntries = 9,
+    BuildStats = 10,
 }
 
 impl SectionKind {
@@ -147,13 +155,14 @@ impl SectionKind {
             7 => Some(Self::LabelDists),
             8 => Some(Self::Highway),
             9 => Some(Self::LabelEntries),
+            10 => Some(Self::BuildStats),
             _ => None,
         }
     }
 
     fn elem_size(self) -> u32 {
         match self {
-            Self::GraphOffsets | Self::LabelOffsets | Self::LabelEntries => 8,
+            Self::GraphOffsets | Self::LabelOffsets | Self::LabelEntries | Self::BuildStats => 8,
             _ => 4,
         }
     }
@@ -169,10 +178,12 @@ impl SectionKind {
             Self::LabelDists => "label_dists",
             Self::Highway => "highway",
             Self::LabelEntries => "label_entries",
+            Self::BuildStats => "build_stats",
         }
     }
 
-    /// Canonical section-table order for one format version.
+    /// Canonical section-table order for one format version. The v5 table
+    /// lists every *allowed* kind; `BuildStats` (last) is optional.
     fn table_for(version: u32) -> &'static [SectionKind] {
         match version {
             2 => &[
@@ -194,8 +205,106 @@ impl SectionKind {
                 Self::LabelEntries,
                 Self::Highway,
             ],
+            5 => &[
+                Self::GraphOffsets,
+                Self::GraphNeighbors,
+                Self::Landmarks,
+                Self::LandmarkRank,
+                Self::LabelOffsets,
+                Self::LabelEntries,
+                Self::Highway,
+                Self::BuildStats,
+            ],
             _ => unreachable!("version gated before table lookup"),
         }
+    }
+}
+
+/// Format tag in word 0 of the `build_stats` section payload; bump when
+/// the stats layout changes so old readers degrade to "no stats" instead
+/// of mis-decoding.
+const STATS_FORMAT_TAG: u64 = 1;
+
+/// The thread-count-invariant build counters persisted in a v5 container's
+/// optional `build_stats` section.
+///
+/// Wall times are deliberately **not** stored: the same graph built with
+/// any thread count must produce byte-identical sections (the determinism
+/// contract `hcl-index`'s batched build provides), and timings would break
+/// that. The payload is a flat `u64` array:
+///
+/// ```text
+/// word  value
+/// ----  ---------------------------------------------------------
+///    0  stats format tag (currently 1)
+///    1  bfs_visits — vertices dequeued across all pruned BFS runs
+///    2  label_insertions — label entries written (Σ landmark_labels)
+///    3  dominated — vertices cut by domination pruning
+///    4  k — landmark count (length of the per-landmark array)
+/// 5..5+k  landmark_labels[i] — label entries contributed by rank i
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoredBuildStats {
+    /// Vertices dequeued across all pruned landmark BFS runs.
+    pub bfs_visits: u64,
+    /// Total label entries inserted (equals the index's entry count).
+    pub label_insertions: u64,
+    /// Vertices cut by domination pruning (visited, neither labelled nor
+    /// expanded).
+    pub dominated: u64,
+    /// Label entries contributed by each landmark, indexed by rank.
+    pub landmark_labels: Vec<u64>,
+}
+
+impl StoredBuildStats {
+    /// The persistable subset of a build's [`hcl_index::BuildStats`]
+    /// (counters only — wall times stay in memory).
+    pub fn from_build(stats: &hcl_index::BuildStats) -> Self {
+        Self {
+            bfs_visits: stats.bfs_visits,
+            label_insertions: stats.label_insertions,
+            dominated: stats.dominated,
+            landmark_labels: stats.landmark_labels.clone(),
+        }
+    }
+
+    /// Fraction of BFS visits cut by domination pruning, in `[0, 1]`.
+    pub fn domination_cut_rate(&self) -> f64 {
+        if self.bfs_visits == 0 {
+            0.0
+        } else {
+            self.dominated as f64 / self.bfs_visits as f64
+        }
+    }
+
+    fn encode(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(5 + self.landmark_labels.len());
+        words.push(STATS_FORMAT_TAG);
+        words.push(self.bfs_visits);
+        words.push(self.label_insertions);
+        words.push(self.dominated);
+        words.push(self.landmark_labels.len() as u64);
+        words.extend_from_slice(&self.landmark_labels);
+        words
+    }
+
+    /// Decodes a stats payload; `None` for unknown tags or inconsistent
+    /// geometry, so readers degrade to "no stats" rather than erroring on
+    /// containers written by a future format revision.
+    pub(crate) fn decode(words: &[u64], num_landmarks: u64) -> Option<Self> {
+        if words.len() < 5 || words[0] != STATS_FORMAT_TAG {
+            return None;
+        }
+        let k = words[4];
+        if k != num_landmarks || words.len() as u64 != 5 + k {
+            return None;
+        }
+        Some(Self {
+            bfs_visits: words[1],
+            label_insertions: words[2],
+            dominated: words[3],
+            landmark_labels: words[5..].to_vec(),
+        })
     }
 }
 
@@ -227,7 +336,7 @@ pub struct BuildInfo {
 /// touching any section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Format version of the file (2, 3, or 4; see the module docs).
+    /// Format version of the file (2 through 5; see the module docs).
     pub version: u32,
     /// Total file length in bytes.
     pub file_len: u64,
@@ -285,6 +394,8 @@ pub(crate) struct Layout {
     pub(crate) label_offsets: Range<usize>,
     pub(crate) labels: LabelRanges,
     pub(crate) highway: Range<usize>,
+    /// v5's optional `build_stats` section (`None` when absent or legacy).
+    pub(crate) build_stats: Option<Range<usize>>,
 }
 
 impl Layout {
@@ -310,6 +421,9 @@ impl Layout {
             }
         }
         out.push(info(SectionKind::Highway, &self.highway));
+        if let Some(stats) = &self.build_stats {
+            out.push(info(SectionKind::BuildStats, stats));
+        }
         out
     }
 }
@@ -374,7 +488,22 @@ pub fn serialize_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, FORMAT_VERSION)
+    serialize_version(graph, index, build, FORMAT_VERSION, None)
+}
+
+/// Serialises a graph and its index (current version) with the build's
+/// thread-count-invariant counters recorded in the optional `build_stats`
+/// section. Everything else matches [`serialize_with`]; determinism holds
+/// per `(graph, index, build, stats)` tuple — stats carry no wall times,
+/// so the same build configuration yields byte-identical files at any
+/// thread count.
+pub fn serialize_with_stats(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    stats: &StoredBuildStats,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(graph, index, build, FORMAT_VERSION, Some(&stats.encode()))
 }
 
 /// Serialises a graph and its index as a **legacy v2 container** (split
@@ -390,7 +519,7 @@ pub fn serialize_v2_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, 2)
+    serialize_version(graph, index, build, 2, None)
 }
 
 /// Serialises a graph and its index as a **legacy v3 container** (packed
@@ -404,7 +533,22 @@ pub fn serialize_v3_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, 3)
+    serialize_version(graph, index, build, 3, None)
+}
+
+/// Serialises a graph and its index as a **legacy v4 container** (96-byte
+/// header with the selection strategy, no `build_stats` section).
+///
+/// Compatibility-test and migration tooling counterpart of
+/// [`serialize_v2_with`]/[`serialize_v3_with`]; it lets the suite prove v4
+/// files still load, with [`IndexStore::build_stats`]
+/// (crate::IndexStore::build_stats) reporting `None`.
+pub fn serialize_v4_with(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(graph, index, build, 4, None)
 }
 
 fn serialize_version(
@@ -412,6 +556,7 @@ fn serialize_version(
     index: &HighwayCoverIndex,
     build: BuildInfo,
     version: u32,
+    stats: Option<&[u64]>,
 ) -> Result<Vec<u8>, StoreError> {
     let gv = graph.as_view();
     let iv = index.as_view();
@@ -451,10 +596,14 @@ fn serialize_version(
         parts.push((SectionKind::LabelEntries, Payload::U64(iv.label_entries())));
     }
     parts.push((SectionKind::Highway, Payload::U32(iv.highway())));
-    debug_assert_eq!(
-        parts.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        SectionKind::table_for(version)
-    );
+    if let Some(words) = stats {
+        debug_assert!(version >= 5, "build stats require format v5");
+        parts.push((SectionKind::BuildStats, Payload::U64(words)));
+    }
+    // The emitted kinds must be a prefix of the canonical table (the whole
+    // table when the optional trailing stats section is present).
+    debug_assert!(SectionKind::table_for(version)
+        .starts_with(&parts.iter().map(|(k, _)| *k).collect::<Vec<_>>()));
 
     let hlen = header_len(version);
     let num_sections = parts.len();
@@ -597,20 +746,21 @@ pub(crate) fn parse_and_validate(
         }
     }
 
-    let expected_sections = if version == 2 {
-        NUM_SECTIONS_V2
-    } else {
-        NUM_SECTIONS_V3
-    };
+    // v2 has 8 fixed sections, v3/v4 have 7; v5 has 7 plus an optional
+    // trailing build-stats section, so 7 and 8 are both well-formed there.
     let allowed = SectionKind::table_for(version);
-    let section_count = u32_le(bytes, 12);
-    if section_count as usize != expected_sections {
+    let section_count = u32_le(bytes, 12) as usize;
+    let well_formed = match version {
+        2 => section_count == NUM_SECTIONS_V2,
+        3 | 4 => section_count == NUM_SECTIONS_V3,
+        _ => section_count == NUM_SECTIONS_V3 || section_count == NUM_SECTIONS_V3 + 1,
+    };
+    if !well_formed {
         return Err(corrupt(format!(
-            "expected {expected_sections} sections for version {version}, header declares \
-             {section_count}"
+            "header declares {section_count} sections, invalid for version {version}"
         )));
     }
-    let table_end = hlen + expected_sections * SECTION_ENTRY_LEN;
+    let table_end = hlen + section_count * SECTION_ENTRY_LEN;
     if bytes.len() < table_end {
         return Err(corrupt("section table extends past end of file"));
     }
@@ -644,8 +794,8 @@ pub(crate) fn parse_and_validate(
     };
 
     let mut ranges: [Option<Range<usize>>; MAX_SECTION_KINDS] = Default::default();
-    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(expected_sections);
-    for i in 0..expected_sections {
+    let mut spans: Vec<(u64, u64)> = Vec::with_capacity(section_count);
+    for i in 0..section_count {
         let at = hlen + i * SECTION_ENTRY_LEN;
         let kind_raw = u32_le(bytes, at);
         let kind = SectionKind::from_u32(kind_raw)
@@ -698,10 +848,19 @@ pub(crate) fn parse_and_validate(
         }
     }
 
+    // Every allowed kind except the optional trailing stats section is
+    // required. (For v2–v4 the count match + duplicate rejection already
+    // imply presence; for v5 a 7-section file could have smuggled a stats
+    // entry in place of a core section, so check explicitly.)
+    for &kind in allowed {
+        if kind != SectionKind::BuildStats && ranges[kind as u32 as usize - 1].is_none() {
+            return Err(corrupt(format!("missing section {}", kind.name())));
+        }
+    }
     let take = |kind: SectionKind| -> Range<usize> {
         ranges[kind as u32 as usize - 1]
             .clone()
-            .expect("all version-required kinds present: duplicates rejected, count matched")
+            .expect("required kinds checked present above")
     };
     let labels = if version == 2 {
         LabelRanges::Split {
@@ -722,6 +881,7 @@ pub(crate) fn parse_and_validate(
         label_offsets: take(SectionKind::LabelOffsets),
         labels,
         highway: take(SectionKind::Highway),
+        build_stats: ranges[SectionKind::BuildStats as u32 as usize - 1].clone(),
     };
 
     // Element counts must agree with the header metadata.
@@ -768,6 +928,13 @@ pub(crate) fn parse_and_validate(
         k.checked_mul(k)
             .ok_or_else(|| corrupt("landmark count overflows"))?,
     )?;
+    if let Some(stats) = &layout.build_stats {
+        // Contents are tag-versioned and decoded leniently (see
+        // `StoredBuildStats::decode`); geometry just has to be non-empty.
+        if elems(stats, 8) == 0 {
+            return Err(corrupt("section build_stats is empty"));
+        }
+    }
 
     Ok(layout)
 }

@@ -52,8 +52,9 @@ mod generation;
 pub use checksum::crc64;
 pub use error::StoreError;
 pub use format::{
-    header_len, rewrite_checksum, serialize, serialize_v2_with, serialize_v3_with, serialize_with,
-    BuildInfo, SectionInfo, StoreMeta, FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC,
+    header_len, rewrite_checksum, serialize, serialize_v2_with, serialize_v3_with,
+    serialize_v4_with, serialize_with, serialize_with_stats, BuildInfo, SectionInfo, StoreMeta,
+    StoredBuildStats, FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC,
     OLDEST_READABLE_VERSION,
 };
 pub use generation::{Generation, GenerationHandle};
@@ -94,14 +95,37 @@ pub fn save_with(
 ) -> Result<u64, StoreError> {
     let path = path.as_ref();
     let bytes = serialize_with(graph, index, build)?;
+    write_atomically(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Write-to-temporary-then-rename, shared by every save entry point.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     if let Err(e) = std::fs::rename(&tmp, path) {
         std::fs::remove_file(&tmp).ok();
         return Err(e.into());
     }
+    Ok(())
+}
+
+/// [`save_with`] plus the build's thread-count-invariant counters recorded
+/// in the container's optional `build_stats` section (see
+/// [`StoredBuildStats`] for the payload layout and the determinism
+/// rationale). Returns the number of bytes written.
+pub fn save_with_stats(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    stats: &StoredBuildStats,
+) -> Result<u64, StoreError> {
+    let path = path.as_ref();
+    let bytes = serialize_with_stats(graph, index, build, stats)?;
+    write_atomically(path, &bytes)?;
     Ok(bytes.len() as u64)
 }
 
@@ -307,9 +331,20 @@ impl IndexStore {
     }
 
     /// Per-section name/offset/size information for inspection tooling
-    /// (7 sections for v3 files, 8 for v2).
+    /// (7 sections for v3/v4 files, 8 for v2, 7 or 8 for v5).
     pub fn sections(&self) -> Vec<SectionInfo> {
         self.layout.sections()
+    }
+
+    /// The build counters recorded in the container's optional
+    /// `build_stats` section (v5+), or `None` when the file predates the
+    /// section, was written without one, or carries a stats layout this
+    /// reader does not understand — deep-inspection tooling degrades
+    /// gracefully on legacy containers.
+    pub fn build_stats(&self) -> Option<StoredBuildStats> {
+        let range = self.layout.build_stats.clone()?;
+        let words = cast_u64s(&self.backing.bytes()[range]);
+        StoredBuildStats::decode(words, self.layout.meta.num_landmarks)
     }
 
     /// Which backing serves this store: `"mmap"` or `"heap"`.

@@ -345,3 +345,88 @@ fn serialize_rejects_mismatched_graph() {
         Err(hcl_store::StoreError::GraphIndexMismatch { .. })
     ));
 }
+
+/// The v5 `build_stats` section must round-trip the build counters through
+/// bytes, a saved file, and the trusted open — while leaving the served
+/// answers untouched — and files written *without* stats must report
+/// `None` rather than failing.
+#[test]
+fn v5_build_stats_round_trip_and_optionality() {
+    let g = testkit::barabasi_albert(120, 3, 11);
+    let (idx, stats) = HighwayCoverIndex::build_with_stats(
+        &g,
+        &hcl_index::BuildOptions {
+            num_landmarks: 6,
+            threads: 1,
+            batch_size: 0,
+            selection: None,
+        },
+        None,
+    );
+    let stored = hcl_store::StoredBuildStats::from_build(&stats);
+    assert_eq!(stored.landmark_labels.len(), 6);
+    assert_eq!(
+        stored.label_insertions,
+        idx.stats().total_label_entries as u64
+    );
+
+    let with = hcl_store::serialize_with_stats(&g, &idx, hcl_store::BuildInfo::default(), &stored)
+        .expect("serialize with stats");
+    let without = hcl_store::serialize(&g, &idx).expect("serialize without stats");
+    assert!(with.len() > without.len(), "stats section adds bytes");
+
+    let store = IndexStore::from_bytes(&with).expect("v5+stats loads");
+    assert_eq!(store.meta().version, hcl_store::FORMAT_VERSION);
+    assert_eq!(store.build_stats().as_ref(), Some(&stored));
+    assert_eq!(store.sections().len(), 8);
+    assert!(store.sections().iter().any(|s| s.name == "build_stats"));
+    assert_store_matches_owned("v5 stats heap", &g, &idx, &store);
+
+    let plain = IndexStore::from_bytes(&without).expect("v5 no stats loads");
+    assert_eq!(plain.meta().version, hcl_store::FORMAT_VERSION);
+    assert_eq!(plain.build_stats(), None, "stats section is optional");
+    assert_eq!(plain.sections().len(), 7);
+
+    // File path + trusted open.
+    let path = temp_path("v5_stats");
+    hcl_store::save_with_stats(&path, &g, &idx, hcl_store::BuildInfo::default(), &stored)
+        .expect("save_with_stats");
+    let opened = IndexStore::open(&path).expect("open v5");
+    assert_eq!(opened.build_stats().as_ref(), Some(&stored));
+    drop(opened);
+    let trusted = IndexStore::open_trusted(&path).expect("open_trusted v5");
+    assert_eq!(trusted.build_stats().as_ref(), Some(&stored));
+    assert_store_matches_owned("v5 stats trusted", &g, &idx, &trusted);
+    drop(trusted);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Legacy v4 containers (no `build_stats` section kind at all) must keep
+/// loading with `build_stats() == None` and identical answers — the
+/// compatibility contract deep-inspection tooling relies on.
+#[test]
+fn v4_containers_load_without_build_stats() {
+    for (name, g) in testkit::families() {
+        for k in [0usize, 4] {
+            let idx = HighwayCoverIndex::build(&g, IndexConfig { num_landmarks: k });
+            let info = hcl_store::BuildInfo {
+                threads: 2,
+                batch_size: 8,
+                strategy: hcl_store::SelectionStrategy::ApproxCoverage { seed: 7 },
+            };
+            let v4 = hcl_store::serialize_v4_with(&g, &idx, info).expect("serialize v4");
+            let v5 = hcl_store::serialize_with(&g, &idx, info).expect("serialize v5");
+            assert_ne!(v4, v5, "{name} k={k}: version field must differ");
+
+            let store = IndexStore::from_bytes(&v4).expect("v4 loads");
+            assert_eq!(store.meta().version, 4, "{name} k={k}");
+            assert_eq!(store.meta().build.strategy, info.strategy, "{name} k={k}");
+            assert_eq!(
+                store.build_stats(),
+                None,
+                "{name} k={k}: v4 predates build stats"
+            );
+            assert_store_matches_owned(&format!("{name} k={k} v4"), &g, &idx, &store);
+        }
+    }
+}
