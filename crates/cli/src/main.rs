@@ -31,10 +31,16 @@
 //! machine-readable. `--verify` re-checks every answer against the BFS
 //! oracle, regardless of backing.
 
+// The only unsafe in this binary is the POSIX `signal(2)` FFI, confined
+// to `server::sig` behind a scoped allow; everything else is checked.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod metrics;
 mod pool;
 mod server;
 mod slowlog;
+mod sync;
 
 use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
 use hcl_index::{

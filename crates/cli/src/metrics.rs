@@ -272,6 +272,13 @@ impl ServerMetrics {
             "hcl_inflight_connections {}",
             self.inflight.load(Ordering::Relaxed).max(0)
         );
+        // Process-global (see `crate::sync`): poison recoveries in the
+        // stdin pool and slow log count here too.
+        let _ = writeln!(
+            out,
+            "hcl_lock_poisoned_total {}",
+            crate::sync::LOCK_POISONED.load(Ordering::Relaxed)
+        );
         let _ = writeln!(out, "hcl_latency_samples {}", self.latency.count());
         for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
             if let Some(us) = self.latency.quantile_us(q) {

@@ -35,6 +35,7 @@
 
 use crate::metrics::ServerMetrics;
 use crate::slowlog::{SlowLog, SlowQuery};
+use crate::sync::{lock_recover, wait_recover};
 use crate::validate_serve_pair;
 use hcl_core::{GraphView, VertexId};
 use hcl_index::{IndexView, QueryContext, QueryStats};
@@ -177,7 +178,12 @@ pub(crate) fn serve_pooled(
 
         let read_result = read_loop(n, input, job_tx, shutdown, window, workers, metrics);
 
-        let summary = writer.join().expect("writer thread panicked")?;
+        // A writer panic is reported as a serve error, not re-raised: the
+        // reader has already returned (join happens after `read_loop`), so
+        // nothing is left blocked on the dead thread.
+        let summary = writer
+            .join()
+            .map_err(|_| "writer thread panicked; output is incomplete".to_string())??;
         // A stdin read failure is fatal, exactly as in sequential serving —
         // but only after the pool has drained, so partial output still
         // lands in order.
@@ -212,11 +218,13 @@ impl Window {
     }
 
     /// Blocks until chunk `seq` is inside the window of `width` chunks
-    /// past the writer's watermark.
+    /// past the writer's watermark. The watermark is a plain `u64`, so a
+    /// poisoned lock (some thread panicked mid-update of a single store)
+    /// is recovered, not propagated — see `crate::sync`.
     fn wait_for(&self, seq: u64, width: u64) {
-        let mut written = self.written.lock().expect("window lock poisoned");
+        let mut written = lock_recover(&self.written, "window");
         while seq >= written.saturating_add(width) {
-            written = self.cv.wait(written).expect("window lock poisoned");
+            written = wait_recover(&self.cv, written, "window");
         }
     }
 
@@ -224,7 +232,7 @@ impl Window {
     /// including — `next_seq`); `u64::MAX` on shutdown lifts the window
     /// entirely so the reader can never be left parked.
     fn advance(&self, next_seq: u64) {
-        *self.written.lock().expect("window lock poisoned") = next_seq;
+        *lock_recover(&self.written, "window") = next_seq;
         self.cv.notify_all();
     }
 }
@@ -299,8 +307,10 @@ fn worker_loop(
 ) {
     let mut ctx = QueryContext::new();
     loop {
-        // Hold the lock only for the dequeue, never across query work.
-        let job = job_rx.lock().expect("job receiver poisoned").recv();
+        // Hold the lock only for the dequeue, never across query work. A
+        // peer worker panicking mid-`recv` leaves the Receiver intact, so
+        // recover the poisoned lock and keep serving.
+        let job = lock_recover(job_rx, "job queue").recv();
         let (seq, pairs) = match job {
             Ok(job) => job,
             Err(_) => return, // reader dropped the channel: input exhausted

@@ -220,7 +220,12 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
     state.shutdown.store(true, Ordering::Release);
     drop(conn_tx);
     for h in handlers {
-        h.join().expect("connection handler panicked");
+        // A handler that panicked has already dropped (reset) whatever
+        // connection it was serving; the server itself keeps draining.
+        if h.join().is_err() {
+            state.metrics.disconnects.inc();
+            eprintln!("error: a connection handler thread panicked; its connection was dropped");
+        }
     }
 
     let m = &state.metrics;
@@ -258,7 +263,9 @@ fn do_reload(state: &ServerState) -> Result<u64, String> {
     let Some(spec) = &state.reload else {
         return Err("reload unavailable: server was built from an edge list, not --index".into());
     };
-    let _serialised = state.reload_lock.lock().expect("reload lock poisoned");
+    // The lock guards no data (it only serialises reload attempts), so a
+    // poisoned guard from a panicked reload is safe to recover.
+    let _serialised = crate::sync::lock_recover(&state.reload_lock, "reload");
     let t0 = Instant::now();
     let opened = if spec.trusted {
         IndexStore::open_trusted(&spec.path)
@@ -296,7 +303,9 @@ fn reject_busy(stream: TcpStream) {
 fn handler_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServerState, worker: usize) {
     let mut ctx = QueryContext::new();
     loop {
-        let conn = rx.lock().expect("admission queue poisoned").recv();
+        // A peer handler panicking mid-dequeue leaves the Receiver intact;
+        // recover the lock and keep admitting connections.
+        let conn = crate::sync::lock_recover(rx, "admission queue").recv();
         let Ok(stream) = conn else {
             return; // accept loop dropped the sender: drained
         };
@@ -773,6 +782,11 @@ pub(crate) mod sig {
     //! Async-signal-safe flag setters installed with POSIX `signal(2)`
     //! via the same direct-FFI discipline `hcl-store` uses for mmap: the
     //! handlers only store to static atomics; the accept loop polls.
+    //!
+    //! This module is the one `unsafe_code` exception in the binary (the
+    //! crate root denies it); the FFI surface is two `signal(2)` calls.
+    #![allow(unsafe_code)]
+
     use std::sync::atomic::{AtomicBool, Ordering};
 
     /// Set by SIGTERM/SIGINT: drain and exit 0.
@@ -805,6 +819,12 @@ pub(crate) mod sig {
     pub(crate) fn install(reload_signal: Option<i32>) {
         let term = on_term as extern "C" fn(i32) as *const () as usize;
         let reload = on_reload as extern "C" fn(i32) as *const () as usize;
+        // SAFETY: `signal(2)` is called with valid signal numbers and
+        // handler addresses of `extern "C" fn(i32)` items that live for
+        // the whole program; the handlers themselves only perform
+        // async-signal-safe atomic stores (no allocation, no locks), and
+        // installation happens once on the main thread before any
+        // handler thread is spawned.
         unsafe {
             signal(SIGTERM, term);
             signal(SIGINT, term);

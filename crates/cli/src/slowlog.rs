@@ -24,6 +24,7 @@
 //! thread's index (0 for single-threaded modes); `generation` is the live
 //! index generation (fixed at 1 for stdin modes, which cannot reload).
 
+use crate::sync::lock_recover;
 use hcl_index::QueryStats;
 use std::io::Write;
 use std::sync::Mutex;
@@ -86,7 +87,10 @@ impl SlowLog {
             return;
         }
         let line = format_line(q);
-        let mut inner = self.inner.lock().expect("slow-log lock poisoned");
+        // Diagnostics must never take serving down: a poisoned lock (a
+        // panic inside some other observe call) is recovered — the token
+        // bucket state degrades gracefully no matter where the panic hit.
+        let mut inner = lock_recover(&self.inner, "slow-log");
         let now = Instant::now();
         let elapsed = now.duration_since(inner.last_refill).as_secs_f64();
         inner.last_refill = now;
@@ -106,7 +110,7 @@ impl SlowLog {
     /// Lines suppressed by the rate limiter (or lost to sink errors),
     /// reported once in the shutdown summary.
     pub(crate) fn dropped(&self) -> u64 {
-        self.inner.lock().expect("slow-log lock poisoned").dropped
+        lock_recover(&self.inner, "slow-log").dropped
     }
 }
 

@@ -1,0 +1,75 @@
+//! Poison-recovering lock helpers for the serving path.
+//!
+//! A poisoned `Mutex` means some thread panicked while holding it. For
+//! the serving structures in this crate (slow-log sink state, the pool's
+//! flow-control window, the admission and job queues, the reload lock)
+//! the protected data stays structurally valid across a panic — every
+//! critical section either completes its writes or leaves independently
+//! meaningful fields — so propagating the poison would only convert one
+//! thread's failure into a whole-process outage. These helpers recover
+//! the guard instead, count the event (exported as
+//! `hcl_lock_poisoned_total` on `/metrics`), and log it once per
+//! occurrence so the original panic stays visible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Times a lock was recovered from poisoning anywhere in the process.
+/// Global rather than per-`ServerMetrics` so the stdin modes (which share
+/// the slow log and pool but not a metrics registry) are counted too.
+pub(crate) static LOCK_POISONED: AtomicU64 = AtomicU64::new(0);
+
+fn note_poisoned(what: &str) {
+    LOCK_POISONED.fetch_add(1, Ordering::Relaxed);
+    eprintln!("warning: {what} lock was poisoned by a panicking thread; recovering");
+}
+
+/// Locks `mutex`, recovering (and counting) a poisoned guard. `what`
+/// names the lock in the degradation log line.
+pub(crate) fn lock_recover<'a, T>(mutex: &'a Mutex<T>, what: &str) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            note_poisoned(what);
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_recover`].
+pub(crate) fn wait_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    what: &str,
+) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            note_poisoned(what);
+            poisoned.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_counted() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let before = LOCK_POISONED.load(Ordering::Relaxed);
+        assert_eq!(*lock_recover(&m, "test"), 7);
+        assert!(LOCK_POISONED.load(Ordering::Relaxed) > before);
+        // Still usable afterwards.
+        *lock_recover(&m, "test") = 8;
+        assert_eq!(*lock_recover(&m, "test"), 8);
+    }
+}

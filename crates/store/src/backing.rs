@@ -17,7 +17,7 @@
 
 /// Read-only whole-file memory mapping (64-bit little-endian Unix only —
 /// the only platforms where the zero-copy serving path is enabled).
-#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+#[cfg(all(unix, not(miri), target_pointer_width = "64", target_endian = "little"))]
 pub(crate) mod mmap {
     use std::fs::File;
     use std::io;
@@ -49,9 +49,11 @@ pub(crate) mod mmap {
         len: usize,
     }
 
-    // SAFETY: the mapping is PROT_READ and never handed out mutably; sharing
-    // read-only pages across threads is sound.
+    // SAFETY: the mapping is PROT_READ and never handed out mutably;
+    // moving ownership of the pointer to another thread is sound.
     unsafe impl Send for Mmap {}
+    // SAFETY: all access is through `&self` returning `&[u8]` into
+    // read-only pages; concurrent readers cannot race.
     unsafe impl Sync for Mmap {}
 
     impl Mmap {
@@ -156,7 +158,7 @@ impl AlignedBuf {
 /// The storage behind an opened [`IndexStore`](crate::IndexStore).
 pub(crate) enum Backing {
     /// Zero-copy memory mapping.
-    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    #[cfg(all(unix, not(miri), target_pointer_width = "64", target_endian = "little"))]
     Mmap(mmap::Mmap),
     /// Heap copy (portable fallback, `from_bytes`, or explicit preload).
     Heap(AlignedBuf),
@@ -165,7 +167,7 @@ pub(crate) enum Backing {
 impl Backing {
     pub(crate) fn bytes(&self) -> &[u8] {
         match self {
-            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            #[cfg(all(unix, not(miri), target_pointer_width = "64", target_endian = "little"))]
             Backing::Mmap(m) => m.bytes(),
             Backing::Heap(b) => b.bytes(),
         }
@@ -173,7 +175,7 @@ impl Backing {
 
     pub(crate) fn kind(&self) -> &'static str {
         match self {
-            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            #[cfg(all(unix, not(miri), target_pointer_width = "64", target_endian = "little"))]
             Backing::Mmap(_) => "mmap",
             Backing::Heap(_) => "heap",
         }

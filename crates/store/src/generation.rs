@@ -63,9 +63,13 @@ impl GenerationHandle {
     /// A consistent snapshot of the current store and its generation
     /// number; hold it for the duration of one request.
     pub fn current(&self) -> Generation {
+        // A poisoned lock means a panic during `swap`; the guarded pair
+        // is still a coherent, previously-published generation (the store
+        // Arc and number are written together under the same guard), so
+        // serving continues on it rather than cascading the panic.
         self.current
             .read()
-            .expect("generation lock poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone()
     }
 
@@ -74,7 +78,11 @@ impl GenerationHandle {
     /// alive; requests that take a snapshot after `swap` returns see the
     /// new one.
     pub fn swap(&self, store: IndexStore) -> u64 {
-        let mut cur = self.current.write().expect("generation lock poisoned");
+        // See `current` for why recovering from poison is sound here.
+        let mut cur = self
+            .current
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         cur.store = Arc::new(store);
         cur.number += 1;
         self.number.store(cur.number, Ordering::Release);

@@ -69,6 +69,7 @@ fn mmap_backing_is_used_on_supported_platforms() {
     let store = IndexStore::open(&path).expect("open");
     if cfg!(all(
         unix,
+        not(miri),
         target_pointer_width = "64",
         target_endian = "little"
     )) {

@@ -1,0 +1,104 @@
+//! Per-rule allowlists: vetted exceptions with justifications.
+//!
+//! Each rule that supports exceptions reads `xtask/lints/<rule>.allow`.
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comment lines (justifications) and blank lines are ignored
+//! <repo-relative-path> :: <substring of the offending line>
+//! ```
+//!
+//! An entry suppresses a violation when the violation's file matches the
+//! path **and** the raw source line contains the substring. Matching on
+//! line *content* rather than line *numbers* keeps entries stable across
+//! unrelated edits. Every entry must still match something: stale entries
+//! are themselves reported as violations, so the exception count can only
+//! go down without an explicit, reviewable allowlist edit.
+
+use std::path::Path;
+
+/// One allowlist entry.
+pub struct Entry {
+    /// Repo-relative path the exception applies to.
+    pub path: String,
+    /// Substring of the raw offending source line.
+    pub needle: String,
+    /// Line number inside the allow file (for stale-entry diagnostics).
+    pub line: usize,
+}
+
+/// A loaded allowlist plus per-entry usage tracking.
+pub struct Allowlist {
+    /// Repo-relative path of the allow file (for diagnostics).
+    pub file: String,
+    /// Parsed entries in file order.
+    pub entries: Vec<Entry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Loads `xtask/lints/<rule>.allow` under `root`; a missing file is
+    /// an empty allowlist.
+    pub fn load(root: &Path, rule: &str) -> Allowlist {
+        let rel = format!("xtask/lints/{rule}.allow");
+        let text = std::fs::read_to_string(root.join(&rel)).unwrap_or_default();
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, needle)) = line.split_once(" :: ") {
+                entries.push(Entry {
+                    path: path.trim().to_string(),
+                    needle: needle.to_string(),
+                    line: i + 1,
+                });
+            } else {
+                // A malformed entry can never match; report it as stale
+                // rather than silently allowing nothing.
+                entries.push(Entry {
+                    path: String::new(),
+                    needle: line.to_string(),
+                    line: i + 1,
+                });
+            }
+        }
+        let used = vec![false; entries.len()];
+        Allowlist {
+            file: rel,
+            entries,
+            used,
+        }
+    }
+
+    /// Is the violation at `path` with raw line text `raw` allowlisted?
+    /// Marks the matching entry as used.
+    pub fn permits(&mut self, path: &str, raw: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.path == path && !e.needle.is_empty() && raw.contains(&e.needle) {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a violation (stale or malformed), as
+    /// `(allow-file line number, entry text)` pairs.
+    pub fn unused(&self) -> Vec<(usize, String)> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &used)| !used)
+            .map(|(e, _)| {
+                let text = if e.path.is_empty() {
+                    format!("(malformed) {}", e.needle)
+                } else {
+                    format!("{} :: {}", e.path, e.needle)
+                };
+                (e.line, text)
+            })
+            .collect()
+    }
+}

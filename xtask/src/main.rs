@@ -1,0 +1,64 @@
+//! `cargo xtask <task>` — workspace automation entry point.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask lint [--root PATH] [--rule NAME]\n\
+         \n\
+         Runs the workspace-specific static-analysis pass.\n\
+         Rules: {}",
+        xtask::RULE_NAMES.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        _ => return usage(),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--rule" => rule = args.next(),
+            _ => return usage(),
+        }
+    }
+    if let Some(r) = &rule {
+        if !xtask::RULE_NAMES.contains(&r.as_str()) {
+            eprintln!("unknown rule `{r}`");
+            return usage();
+        }
+    }
+    // `cargo xtask …` runs with cwd = workspace root; `--root` overrides
+    // for tests and out-of-tree runs.
+    let root = root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let violations = match xtask::run_lint(&root, rule.as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    if violations.is_empty() {
+        eprintln!("xtask lint: clean ({} rules)", xtask::RULE_NAMES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,421 @@
+//! Lexer-level scrubbing of Rust source: classify every byte as code,
+//! comment, or string/char-literal content, keeping exact line structure.
+//!
+//! The rules never parse Rust properly (no `syn` — the workspace is
+//! dependency-free by design); instead they scan the **scrubbed** code
+//! text, in which comments and literal contents are blanked out. That is
+//! enough to make token matches sound: `"unsafe"` inside a string or a
+//! comment can never look like the `unsafe` keyword, and braces inside
+//! literals can never derail the `#[cfg(test)]` region tracker.
+//!
+//! Handled syntax: line comments, nested block comments, string literals
+//! (including `\"` escapes), raw strings `r#"…"#` with any hash depth,
+//! byte strings/raw byte strings, char literals (escape-aware), and
+//! lifetimes (`'a` is *not* a char literal). C-string literals (`c"…"`)
+//! ride the same path as byte strings.
+
+/// One scrubbed source line.
+pub struct Line {
+    /// The raw line, verbatim (no trailing newline).
+    pub raw: String,
+    /// The line with comments and string/char contents replaced by
+    /// spaces. Quote characters themselves are also blanked, so the code
+    /// text contains only genuine code tokens.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//`, `/*`, `*/`).
+    pub comment: String,
+    /// Every string-literal fragment that appears (even partially) on
+    /// this line. Multi-line strings contribute one fragment per line.
+    pub strings: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)]`-gated region (the
+    /// attribute line itself and the item's whole brace block).
+    pub in_test: bool,
+}
+
+/// A scrubbed source file.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (repo-relative).
+    pub path: String,
+    /// Scrubbed lines, 0-indexed (diagnostics add 1).
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scrubs `text` (the full file contents) under diagnostic name
+    /// `path`.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let lines = scrub(text);
+        let mut file = SourceFile {
+            path: path.to_string(),
+            lines,
+        };
+        mark_test_regions(&mut file.lines);
+        file
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth rides along.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` + n `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `text` into scrubbed [`Line`]s (without test-region marking).
+fn scrub(text: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+
+    for raw_line in text.split('\n') {
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut cur_string = String::new();
+        let mut i = 0usize;
+
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw_line[byte_at(raw_line, i + 2)..]);
+                        code.extend(std::iter::repeat(' ').take(chars.len() - i));
+                        state = State::LineComment;
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push(' ');
+                        i += 1;
+                    }
+                    'r' | 'b' | 'c' if starts_raw_string(&chars[i..]) => {
+                        // r"…", r#"…"#, br"…", brc combinations: skip the
+                        // prefix letters and hashes, then enter RawStr.
+                        let mut j = i;
+                        while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        debug_assert_eq!(chars.get(j), Some(&'"'));
+                        code.extend(std::iter::repeat(' ').take(j + 1 - i));
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                    }
+                    'b' if next == Some('\'') => {
+                        // Byte literal b'…': blank the prefix, handle the
+                        // quote on the next loop turn as a char literal.
+                        code.push(' ');
+                        i += 1;
+                    }
+                    '\'' => {
+                        if is_lifetime(&chars[i..]) {
+                            code.push(c);
+                            i += 1;
+                        } else {
+                            state = State::CharLit;
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("reset at line start, set only with i=len"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        code.push_str("  ");
+                        i += 2;
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        code.push_str("  ");
+                        i += 2;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        cur_string.push(c);
+                        if let Some(n) = next {
+                            cur_string.push(n);
+                        }
+                        code.push_str(&"  "[..1 + next.is_some() as usize]);
+                        i += 2;
+                    }
+                    '"' => {
+                        strings.push(std::mem::take(&mut cur_string));
+                        code.push(' ');
+                        i += 1;
+                        state = State::Code;
+                    }
+                    _ => {
+                        cur_string.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars[i + 1..], hashes) {
+                        strings.push(std::mem::take(&mut cur_string));
+                        code.extend(std::iter::repeat(' ').take(1 + hashes as usize));
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        cur_string.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::CharLit => match c {
+                    '\\' => {
+                        code.push_str(&"  "[..1 + next.is_some() as usize]);
+                        i += 2;
+                    }
+                    '\'' => {
+                        code.push(' ');
+                        i += 1;
+                        state = State::Code;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+            }
+        }
+
+        // A string still open at end-of-line contributes its fragment and
+        // stays open into the next line. Char literals cannot span lines.
+        if !cur_string.is_empty() {
+            strings.push(cur_string);
+        }
+        if state == State::CharLit {
+            state = State::Code;
+        }
+
+        out.push(Line {
+            raw: raw_line.to_string(),
+            code,
+            comment,
+            strings,
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// Byte offset of character index `idx` in `s` (chars can be multi-byte).
+fn byte_at(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// Does `chars` (starting at an `r`/`b`/`c`) begin a raw string literal
+/// (`r"`, `r#"`, `br"`, …)? Plain `b"…"` / `c"…"` byte/C strings are left
+/// to the ordinary string path via this returning true only when an `r`
+/// is present — without one they scrub fine as `Str` after the prefix,
+/// except the opening quote; so treat any letter-prefixed quote here.
+fn starts_raw_string(chars: &[char]) -> bool {
+    let mut j = 0usize;
+    let mut saw_letter = false;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') {
+        saw_letter = true;
+        j += 1;
+        if j > 3 {
+            return false; // identifiers like `rrrr…` are not prefixes
+        }
+    }
+    if !saw_letter {
+        return false;
+    }
+    // `j` hashes (possibly zero), then a quote.
+    let mut k = j;
+    while chars.get(k) == Some(&'#') {
+        k += 1;
+    }
+    // Only a *raw* opener may carry hashes; `b"…"`/`c"…"` (no hashes) are
+    // also fine to treat as raw-with-0-hashes: no escapes exist in our
+    // scrub that would differ materially for blanking purposes, except
+    // `\"` — so require an `r` when there are no hashes, and fall back to
+    // the escape-aware Str state for plain `b"`/`c"`.
+    if chars.get(k) != Some(&'"') {
+        return false;
+    }
+    if k > j {
+        return true; // has hashes: definitely raw
+    }
+    chars[..j].contains(&'r')
+}
+
+/// After a `"` inside a raw string, do `hashes` `#`s follow?
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    let h = hashes as usize;
+    rest.len() >= h && rest[..h].iter().all(|&c| c == '#')
+}
+
+/// Is `chars[0] == '\''` a lifetime rather than a char literal?
+/// Heuristic: `'ident` not followed by a closing quote (`'a'` is a char).
+fn is_lifetime(chars: &[char]) -> bool {
+    debug_assert_eq!(chars[0], '\'');
+    let mut j = 1;
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    j > 1 && chars.get(j) != Some(&'\'')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]`-gated item (or any
+/// `cfg` attribute mentioning `test`, e.g. `#[cfg(all(test, unix))]`),
+/// including nested items, as `in_test`. Tracking is brace-based over the
+/// scrubbed code, so braces in strings/comments cannot derail it.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if attribute_gates_test(&lines[i].code) {
+            // Mark from the attribute through the end of the item's brace
+            // block (first `{` at or after the attribute, to its match).
+            let start = i;
+            let mut depth = 0i64;
+            let mut seen_open = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        '}' => depth -= 1,
+                        // An attribute gating a brace-less item (`use`,
+                        // `fn f();`) ends at the first `;` at depth 0.
+                        ';' if !seen_open && depth == 0 => {
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                if seen_open && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for line in &mut lines[start..=end] {
+                line.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Does this scrubbed code line carry a `#[cfg(…test…)]` /
+/// `#[cfg_attr(test, …)]` attribute?
+fn attribute_gates_test(code: &str) -> bool {
+    let trimmed = code.trim_start();
+    if !trimmed.starts_with("#[") {
+        return false;
+    }
+    (trimmed.contains("cfg(") || trimmed.contains("cfg_attr(")) && has_word(trimmed, "test")
+}
+
+/// Whole-word containment test over a scrubbed code string.
+pub fn has_word(code: &str, word: &str) -> bool {
+    find_words(code, word).next().is_some()
+}
+
+/// Iterator over the char-column of every whole-word occurrence of
+/// `word` in `code`.
+pub fn find_words<'a>(code: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let chars: Vec<char> = code.chars().collect();
+    let target: Vec<char> = word.chars().collect();
+    let mut positions = Vec::new();
+    let n = chars.len();
+    let m = target.len();
+    if m > 0 && n >= m {
+        for start in 0..=(n - m) {
+            if chars[start..start + m] != target[..] {
+                continue;
+            }
+            let before_ok = start == 0 || !is_word_char(chars[start - 1]);
+            let after_ok = start + m == n || !is_word_char(chars[start + m]);
+            if before_ok && after_ok {
+                positions.push(start);
+            }
+        }
+    }
+    positions.into_iter()
+}
+
+/// Identifier-forming character (close enough for lint purposes).
+pub fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits a scrubbed code line into lint tokens: identifiers/numbers and
+/// multi-char operators (`->`, `=>`, `::`, `..`, `+=`, `-=`, `&&`, `||`,
+/// shifts and comparisons), everything else as single chars. Whitespace
+/// is dropped. Returns `(column, token)` pairs.
+pub fn tokens(code: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_word_char(c) {
+            let start = i;
+            while i < chars.len() && is_word_char(chars[i]) {
+                i += 1;
+            }
+            out.push((start, chars[start..i].iter().collect()));
+            continue;
+        }
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        const TWO_CHAR: &[&str] = &[
+            "->", "=>", "::", "..", "+=", "-=", "*=", "/=", "&&", "||", "==", "!=", "<=", ">=",
+            "<<", ">>",
+        ];
+        if TWO_CHAR.contains(&two.as_str()) {
+            out.push((i, two));
+            i += 2;
+            continue;
+        }
+        out.push((i, c.to_string()));
+        i += 1;
+    }
+    out
+}
