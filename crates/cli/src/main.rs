@@ -38,6 +38,7 @@
 
 mod metrics;
 mod pool;
+mod scrub;
 mod server;
 mod slowlog;
 mod sync;
@@ -90,8 +91,9 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
        serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]\n\
              [--threads T] [--strategy S]) [--workers W] [--listen ADDR]\n\
              [--max-inflight N] [--write-timeout-ms MS]\n\
-             [--reload-signal hup|usr1|none] [--slow-log-us N]\n\
-             [--slow-log-file F] [--quiet]\n\
+             [--reload-signal hup|usr1|none] [--reload-retries N]\n\
+             [--reload-backoff-ms MS] [--scrub-interval-s N]\n\
+             [--slow-log-us N] [--slow-log-file F] [--quiet]\n\
            Serving loop: read `u v` per line on stdin. With --workers 1\n\
            (default) answers are flushed per line; --workers W > 1 runs a\n\
            thread pool over the shared index, reading stdin in chunks and\n\
@@ -109,6 +111,14 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            (default 1024) new connects are rejected busy; answers that\n\
            stall past --write-timeout-ms (default 30000) drop that\n\
            connection. SIGTERM/SIGINT or stdin EOF drains gracefully.\n\
+           A failed reload retries up to --reload-retries times (default\n\
+           0) with exponential backoff starting at --reload-backoff-ms\n\
+           (default 100); all attempts are serialised, and the old\n\
+           generation serves throughout. --scrub-interval-s N (default\n\
+           0 = off) runs a background integrity scrubber every N seconds\n\
+           re-checksumming the live generation and the --index file;\n\
+           detected corruption turns /healthz into 503 `degraded` (queries\n\
+           keep flowing) until a clean pass or good reload clears it.\n\
            --slow-log-us N logs every query slower than N µs as one JSON\n\
            line (endpoints, latency, trace fields, worker, generation) to\n\
            stderr, or to F with --slow-log-file (rate-limited; drops are\n\
@@ -894,6 +904,9 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut max_inflight = 1024usize;
     let mut write_timeout_ms = 30_000u64;
     let mut reload_signal = Some(server::sig::SIGHUP);
+    let mut reload_retries = 0u32;
+    let mut reload_backoff_ms = 100u64;
+    let mut scrub_interval_s = 0u64;
     let mut slow_log_us: Option<u64> = None;
     let mut slow_log_file: Option<String> = None;
     let mut quiet = false;
@@ -940,6 +953,27 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             "--reload-signal" => {
                 reload_signal = parse_reload_signal(next_value(&mut args, "--reload-signal"));
                 listen_only_flag_seen = Some("--reload-signal");
+            }
+            "--reload-retries" => {
+                reload_retries = parse_or_usage(
+                    next_value(&mut args, "--reload-retries"),
+                    "--reload-retries",
+                );
+                listen_only_flag_seen = Some("--reload-retries");
+            }
+            "--reload-backoff-ms" => {
+                reload_backoff_ms = parse_or_usage(
+                    next_value(&mut args, "--reload-backoff-ms"),
+                    "--reload-backoff-ms",
+                );
+                listen_only_flag_seen = Some("--reload-backoff-ms");
+            }
+            "--scrub-interval-s" => {
+                scrub_interval_s = parse_or_usage(
+                    next_value(&mut args, "--scrub-interval-s"),
+                    "--scrub-interval-s",
+                );
+                listen_only_flag_seen = Some("--scrub-interval-s");
             }
             "--slow-log-us" => {
                 slow_log_us = Some(parse_or_usage(
@@ -1027,6 +1061,10 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                     None
                 },
                 reload,
+                reload_retries,
+                reload_backoff: std::time::Duration::from_millis(reload_backoff_ms),
+                scrub_interval: (scrub_interval_s > 0)
+                    .then(|| std::time::Duration::from_secs(scrub_interval_s)),
                 slow_log,
                 quiet,
             },

@@ -184,6 +184,15 @@ pub(crate) struct ServerMetrics {
     pub(crate) reloads: Counter,
     /// Reload attempts that failed (the old generation stays live).
     pub(crate) reload_failures: Counter,
+    /// Scrub passes that completed clean (live generation and reload
+    /// source both verified).
+    pub(crate) scrub_passes: Counter,
+    /// Scrub passes that detected corruption (the server degrades).
+    pub(crate) scrub_failures: Counter,
+    /// Degradation gauge: non-zero while `/healthz` reports `degraded`
+    /// (corruption detected by the scrubber, cleared by a clean scrub
+    /// pass or a successful reload).
+    pub(crate) degraded: AtomicU64,
     /// Answers resolved purely by the common-hub label merge.
     pub(crate) answers_label_hit: Counter,
     /// Answers where the highway cross-product tightened the label bound.
@@ -215,6 +224,9 @@ impl ServerMetrics {
             oversized: Counter::new("hcl_oversized_total"),
             reloads: Counter::new("hcl_reloads_total"),
             reload_failures: Counter::new("hcl_reload_failures_total"),
+            scrub_passes: Counter::new("hcl_scrub_passes_total"),
+            scrub_failures: Counter::new("hcl_scrub_failures_total"),
+            degraded: AtomicU64::new(0),
             answers_label_hit: Counter::new("hcl_answers_label_hit_total"),
             answers_highway: Counter::new("hcl_answers_highway_total"),
             answers_bfs: Counter::new("hcl_answers_bfs_total"),
@@ -259,6 +271,8 @@ impl ServerMetrics {
             &self.oversized,
             &self.reloads,
             &self.reload_failures,
+            &self.scrub_passes,
+            &self.scrub_failures,
             &self.answers_label_hit,
             &self.answers_highway,
             &self.answers_bfs,
@@ -271,6 +285,11 @@ impl ServerMetrics {
             out,
             "hcl_inflight_connections {}",
             self.inflight.load(Ordering::Relaxed).max(0)
+        );
+        let _ = writeln!(
+            out,
+            "hcl_degraded {}",
+            self.degraded.load(Ordering::Relaxed).min(1)
         );
         // Process-global (see `crate::sync`): poison recoveries in the
         // stdin pool and slow log count here too.
@@ -384,6 +403,9 @@ mod tests {
             "hcl_answers_bfs_total 1\n",
             "hcl_answers_trivial_total 0\n",
             "hcl_answers_disconnected_total 0\n",
+            "hcl_scrub_passes_total 0\n",
+            "hcl_scrub_failures_total 0\n",
+            "hcl_degraded 0\n",
             "hcl_latency_samples 1\n",
             "hcl_latency_us{quantile=\"0.99\"}",
         ] {

@@ -37,7 +37,16 @@
 //!   requests finish on the old mmap, which is unmapped when its last
 //!   snapshot drops. `save_with`'s rename-into-place makes the writer
 //!   side safe, so a build pipeline can overwrite the file and poke the
-//!   server with no coordination beyond the poke.
+//!   server with no coordination beyond the poke. A failing reload can
+//!   retry with exponential backoff (`--reload-retries`,
+//!   `--reload-backoff-ms`); the whole retry loop holds the reload lock,
+//!   so concurrent triggers serialise end-to-end.
+//! * **Integrity scrubbing**: an optional background thread
+//!   (`--scrub-interval-s`, see `scrub.rs`) re-runs the CRC-64 pass over
+//!   the live generation and the on-disk reload source; detected
+//!   corruption flips `/healthz` to a 503 `degraded` answer (queries keep
+//!   flowing from the intact mapping) until a clean pass or a successful
+//!   reload restores it.
 
 use crate::metrics::ServerMetrics;
 use crate::parse_pair_line;
@@ -73,17 +82,24 @@ pub(crate) struct ReloadSpec {
     pub(crate) trusted: bool,
 }
 
-/// Everything the accept loop and the handlers share.
-struct ServerState {
-    handle: GenerationHandle,
+/// Everything the accept loop, the handlers, and the scrubber share.
+pub(crate) struct ServerState {
+    pub(crate) handle: GenerationHandle,
     /// `None` when the index was built in memory from an edge list —
     /// there is no file to re-open, so reload requests are refused.
-    reload: Option<ReloadSpec>,
-    /// Serialises concurrent reload triggers (signal + HTTP racing).
+    pub(crate) reload: Option<ReloadSpec>,
+    /// Serialises concurrent reload triggers (signal + HTTP racing) —
+    /// including the whole retry/backoff loop, so a retrying reload and a
+    /// concurrent `/reload` can never interleave generation swaps.
     reload_lock: Mutex<()>,
-    metrics: ServerMetrics,
-    shutdown: AtomicBool,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) shutdown: AtomicBool,
     write_timeout: Duration,
+    /// Extra reload attempts after a failure (`--reload-retries`).
+    reload_retries: u32,
+    /// Base pause before the first retry, doubling per attempt
+    /// (`--reload-backoff-ms`).
+    reload_backoff: Duration,
     /// Slow-query sink (`--slow-log-us`), shared by every handler.
     slow_log: Option<Arc<SlowLog>>,
 }
@@ -106,6 +122,14 @@ pub(crate) struct ServerConfig {
     /// Unix signal number that triggers a reload (e.g. SIGHUP = 1), if
     /// any.
     pub(crate) reload_signal: Option<i32>,
+    /// Extra attempts after a failed reload (`--reload-retries`).
+    pub(crate) reload_retries: u32,
+    /// Base backoff before the first retry, doubling per attempt
+    /// (`--reload-backoff-ms`).
+    pub(crate) reload_backoff: Duration,
+    /// Background integrity-scrub cadence (`--scrub-interval-s`); `None`
+    /// disables the scrubber thread.
+    pub(crate) scrub_interval: Option<Duration>,
     /// Slow-query log (`--slow-log-us` / `--slow-log-file`), if enabled.
     pub(crate) slow_log: Option<Arc<SlowLog>>,
     /// Suppress the shutdown latency summary line (`--quiet`).
@@ -131,6 +155,8 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         write_timeout: cfg.write_timeout,
+        reload_retries: cfg.reload_retries,
+        reload_backoff: cfg.reload_backoff,
         slow_log: cfg.slow_log,
     });
     sig::install(cfg.reload_signal);
@@ -158,6 +184,14 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
             std::thread::spawn(move || handler_loop(&rx, &state, worker))
         })
         .collect();
+
+    // Background integrity scrubber: re-runs the CRC-64 pass over the
+    // live generation (and the reload source on disk) every interval,
+    // flipping `/healthz` to `degraded` while corruption is detected.
+    let scrubber = cfg.scrub_interval.map(|interval| {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || crate::scrub::scrub_loop(&state, interval))
+    });
 
     // Stdin watcher: EOF on stdin is the portable drain trigger (the
     // stdin serve mode's contract, kept for the socket mode). Detached —
@@ -227,6 +261,13 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
             eprintln!("error: a connection handler thread panicked; its connection was dropped");
         }
     }
+    if let Some(scrubber) = scrubber {
+        // The scrub loop polls the shutdown flag every tick, so this join
+        // is bounded by one sleep tick plus one verification pass.
+        if scrubber.join().is_err() {
+            eprintln!("error: the scrubber thread panicked during drain");
+        }
+    }
 
     let m = &state.metrics;
     eprintln!(
@@ -258,8 +299,15 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
     Ok(())
 }
 
-/// Re-opens the reload source and swaps it in as the new generation.
-fn do_reload(state: &ServerState) -> Result<u64, String> {
+/// Re-opens the reload source and swaps it in as the new generation,
+/// retrying up to `--reload-retries` times with exponential backoff.
+///
+/// The whole retry loop runs under `reload_lock`, so a signal-triggered
+/// retry sequence and a concurrent HTTP `/reload` are serialised
+/// end-to-end — generation swaps can never interleave out of order. A
+/// successful reload also clears the scrubber's `degraded` flag: the new
+/// generation was just (re-)validated at open.
+pub(crate) fn do_reload(state: &ServerState) -> Result<u64, String> {
     let Some(spec) = &state.reload else {
         return Err("reload unavailable: server was built from an edge list, not --index".into());
     };
@@ -267,24 +315,58 @@ fn do_reload(state: &ServerState) -> Result<u64, String> {
     // poisoned guard from a panicked reload is safe to recover.
     let _serialised = crate::sync::lock_recover(&state.reload_lock, "reload");
     let t0 = Instant::now();
-    let opened = if spec.trusted {
-        IndexStore::open_trusted(&spec.path)
-    } else {
-        IndexStore::open(&spec.path)
-    };
-    let store = opened.map_err(|e| {
-        state.metrics.reload_failures.inc();
-        format!("re-opening {}: {e}", spec.path)
-    })?;
-    let generation = state.handle.swap(store);
-    state.metrics.reloads.inc();
-    eprintln!(
-        "reloaded {} as generation {generation} in {:.1?} (in-flight queries finish on the old \
-         mapping)",
-        spec.path,
-        t0.elapsed()
-    );
-    Ok(generation)
+    let attempts = state.reload_retries.saturating_add(1);
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            // Exponential backoff: base × 2^(retry-1), capped at 2^10 so
+            // the shift cannot overflow however large --reload-retries is.
+            let pause = state
+                .reload_backoff
+                .saturating_mul(1u32 << (attempt - 1).min(10));
+            if !crate::sync::sleep_unless(pause, &state.shutdown) {
+                return Err(format!(
+                    "reload abandoned by shutdown after {attempt} failed attempt(s); \
+                     last error: {last_err}"
+                ));
+            }
+        }
+        let opened = if spec.trusted {
+            IndexStore::open_trusted(&spec.path)
+        } else {
+            IndexStore::open(&spec.path)
+        };
+        match opened {
+            Ok(store) => {
+                let generation = state.handle.swap(store);
+                state.metrics.reloads.inc();
+                if state.metrics.degraded.swap(0, Ordering::Relaxed) != 0 {
+                    eprintln!(
+                        "health restored: reload published a freshly validated generation; \
+                         /healthz is ok again"
+                    );
+                }
+                eprintln!(
+                    "reloaded {} as generation {generation} in {:.1?} (in-flight queries finish \
+                     on the old mapping)",
+                    spec.path,
+                    t0.elapsed()
+                );
+                return Ok(generation);
+            }
+            Err(e) => {
+                state.metrics.reload_failures.inc();
+                last_err = format!("re-opening {}: {e}", spec.path);
+                if attempt + 1 < attempts {
+                    eprintln!(
+                        "error: reload attempt {}/{attempts} failed: {last_err}; retrying",
+                        attempt + 1
+                    );
+                }
+            }
+        }
+    }
+    Err(last_err)
 }
 
 /// Turns away a connection that arrived past the admission bound. Best
@@ -626,7 +708,23 @@ fn handle_http(
     };
     match path {
         "/healthz" => {
-            respond(writer, state, peer, 200, "OK", "text/plain", "ok\n");
+            // Degraded: the scrubber found corruption in the live
+            // generation or the reload source. The server keeps answering
+            // queries from the (intact) mapped generation, but load
+            // balancers should stop routing new traffic here.
+            if m.degraded.load(Ordering::Relaxed) != 0 {
+                respond(
+                    writer,
+                    state,
+                    peer,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "degraded\n",
+                );
+            } else {
+                respond(writer, state, peer, 200, "OK", "text/plain", "ok\n");
+            }
         }
         "/metrics" => {
             let body = m.render(state.handle.number());

@@ -36,6 +36,27 @@ pub(crate) fn lock_recover<'a, T>(mutex: &'a Mutex<T>, what: &str) -> MutexGuard
     }
 }
 
+/// Sleeps for `total`, waking every 25 ms to poll `stop`; returns `false`
+/// as soon as `stop` is set (shutdown), `true` after a full sleep. Used by
+/// the reload retry backoff and the scrubber interval so neither can hold
+/// up a drain for longer than one tick.
+pub(crate) fn sleep_unless(
+    total: std::time::Duration,
+    stop: &std::sync::atomic::AtomicBool,
+) -> bool {
+    const TICK: std::time::Duration = std::time::Duration::from_millis(25);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let step = remaining.min(TICK);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+    !stop.load(Ordering::Relaxed)
+}
+
 /// `Condvar::wait` with the same poison recovery as [`lock_recover`].
 pub(crate) fn wait_recover<'a, T>(
     cv: &Condvar,

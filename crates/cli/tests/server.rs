@@ -5,7 +5,11 @@
 //! backpressure rejection beyond `--max-inflight`), graceful drain
 //! (stdin EOF and SIGTERM both exit 0 with the latency summary), and a
 //! concurrent-reload property test hammering queries while the index
-//! file is atomically swapped between two saved generations.
+//! file is atomically swapped between two saved generations. The crash
+//! -safety PR adds: reload retry/backoff until a bad source is repaired,
+//! and the background scrubber flipping `/healthz` to 503 `degraded` on
+//! injected corruption (old generation still answering byte-identically)
+//! and back to `ok` after repair or a good reload.
 
 use hcl_core::{testkit, Graph};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -205,20 +209,7 @@ impl Server {
 
     /// One `GET` exchange: `(status, body)`.
     fn http_get(&self, target: &str) -> (u16, String) {
-        let mut stream = self.connect();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).expect("read response");
-        let status = raw
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
-        let body = raw
-            .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
-            .unwrap_or_default();
-        (status, body)
+        http_get_addr(&self.addr, target)
     }
 
     /// Reads one counter from `/metrics`.
@@ -263,6 +254,29 @@ impl Drop for Server {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
+}
+
+/// One `GET` exchange against an address: `(status, body)`. Free-standing
+/// so background threads can issue requests (e.g. a `/reload` that blocks
+/// in the retry loop) without borrowing the `Server`.
+fn http_get_addr(addr: &str, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
 }
 
 /// `Child::wait` with a polling deadline, so a wedged server fails the
@@ -725,6 +739,162 @@ fn concurrent_queries_survive_repeated_reloads() {
 
     let (status, stderr) = server.drain();
     assert!(status.success(), "stderr:\n{stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: reload retry/backoff and the integrity scrubber
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_retries_with_backoff_until_source_repairs() {
+    let scratch = Scratch::new("reload_retry");
+    let graph = testkit::barabasi_albert(60, 3, 21);
+    let edges = edge_list(&graph);
+    let gen_a = build_index(&scratch, "gen_a", &edges, 4);
+    let gen_b = build_index(&scratch, "gen_b", &edges, 8);
+    let live = scratch.path("live.hcl");
+    std::fs::copy(&gen_a, &live).expect("seed live file");
+
+    // Generous retry budget, short base backoff; explicit --workers so
+    // /metrics stays reachable while one worker blocks in the retry loop.
+    let server = Server::spawn(
+        &live,
+        &[
+            "--workers",
+            "4",
+            "--reload-retries",
+            "40",
+            "--reload-backoff-ms",
+            "50",
+        ],
+    );
+    assert_eq!(server.metric("hcl_index_generation"), 1);
+
+    // Publish garbage (atomically, so the live mmap keeps its inode),
+    // then trigger a reload from a background thread: it must sit in the
+    // retry loop rather than fail.
+    let garbage = scratch.file("garbage.bin", "HCLSTOR garbage");
+    std::fs::rename(&garbage, &live).expect("publish corrupt file");
+    let addr = server.addr.clone();
+    let reload = std::thread::spawn(move || http_get_addr(&addr, "/reload"));
+
+    // At least two failed attempts prove the backoff loop is really
+    // retrying (a single failure would be the old one-shot behaviour).
+    server.wait_metric_at_least("hcl_reload_failures_total", 2, Duration::from_secs(30));
+    assert_eq!(server.metric("hcl_reloads_total"), 0);
+    assert_eq!(server.metric("hcl_index_generation"), 1);
+    // The old generation answers normally while the reload retries.
+    assert_eq!(
+        server.tcp_roundtrip("0 1\n"),
+        stdin_serve_stdout(&gen_a, "0 1\n")
+    );
+
+    // Repair the source: the in-flight reload's next attempt must win.
+    swap_in(&gen_b, &live);
+    let (status, body) = reload.join().expect("reload thread panicked");
+    assert_eq!(status, 200, "reload after repair failed: {body}");
+    assert!(body.contains("\"generation\":2"), "body: {body}");
+    assert_eq!(server.metric("hcl_index_generation"), 2);
+    assert_eq!(server.metric("hcl_reloads_total"), 1);
+
+    let (exit, stderr) = server.drain();
+    assert!(exit.success(), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("; retrying"),
+        "missing retry diagnostic in:\n{stderr}"
+    );
+}
+
+#[test]
+fn scrubber_degrades_healthz_and_recovers_after_repair() {
+    let scratch = Scratch::new("scrub");
+    let graph = testkit::barabasi_albert(60, 3, 33);
+    let edges = edge_list(&graph);
+    let gen_a = build_index(&scratch, "gen_a", &edges, 4);
+    let live = scratch.path("live.hcl");
+    std::fs::copy(&gen_a, &live).expect("seed live file");
+
+    let input = "0 1\n3 9\n";
+    let expected = stdin_serve_stdout(&gen_a, input);
+
+    let server = Server::spawn(&live, &["--scrub-interval-s", "1"]);
+    let (status, body) = server.http_get("/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Quarantine property, step 1: publish a corrupt source atomically.
+    // The mmap pins the old inode, so the live generation is untouched;
+    // only the scrubber's re-read of the path can notice.
+    let garbage = scratch.file("garbage.bin", "HCLSTOR garbage");
+    std::fs::rename(&garbage, &live).expect("publish corrupt file");
+    server.wait_metric_at_least("hcl_scrub_failures_total", 1, Duration::from_secs(30));
+
+    let (status, body) = server.http_get("/healthz");
+    assert_eq!(
+        (status, body.as_str()),
+        (503, "degraded\n"),
+        "corruption must degrade /healthz"
+    );
+    assert_eq!(server.metric("hcl_degraded"), 1);
+    // ...while the old generation keeps answering byte-identically.
+    assert_eq!(server.tcp_roundtrip(input), expected);
+
+    // Step 2: repair the source; a clean pass must restore health.
+    let passes_before = server.metric("hcl_scrub_passes_total");
+    swap_in(&gen_a, &live);
+    server.wait_metric_at_least(
+        "hcl_scrub_passes_total",
+        passes_before + 1,
+        Duration::from_secs(30),
+    );
+    let (status, body) = server.http_get("/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert_eq!(server.metric("hcl_degraded"), 0);
+
+    let (exit, stderr) = server.drain();
+    assert!(exit.success(), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("scrub detected corruption"),
+        "missing degradation log in:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("/healthz is ok again"),
+        "missing recovery log in:\n{stderr}"
+    );
+}
+
+#[test]
+fn good_reload_clears_scrubber_degradation() {
+    let scratch = Scratch::new("scrub_reload");
+    let graph = testkit::barabasi_albert(60, 3, 45);
+    let edges = edge_list(&graph);
+    let gen_a = build_index(&scratch, "gen_a", &edges, 4);
+    let gen_b = build_index(&scratch, "gen_b", &edges, 8);
+    let live = scratch.path("live.hcl");
+    std::fs::copy(&gen_a, &live).expect("seed live file");
+
+    let server = Server::spawn(&live, &["--scrub-interval-s", "1"]);
+    let garbage = scratch.file("garbage.bin", "HCLSTOR garbage");
+    std::fs::rename(&garbage, &live).expect("publish corrupt file");
+    server.wait_metric_at_least("hcl_scrub_failures_total", 1, Duration::from_secs(30));
+    let (status, _) = server.http_get("/healthz");
+    assert_eq!(status, 503);
+
+    // A successful reload re-validates the file at open, so it clears the
+    // degraded state immediately — no waiting for the next scrub pass.
+    swap_in(&gen_b, &live);
+    let (status, body) = server.http_get("/reload");
+    assert_eq!(status, 200, "reload body: {body}");
+    let (status, body) = server.http_get("/healthz");
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "ok\n"),
+        "a good reload must clear degradation"
+    );
+    assert_eq!(server.metric("hcl_degraded"), 0);
+    assert_eq!(server.metric("hcl_index_generation"), 2);
+
+    let (exit, stderr) = server.drain();
+    assert!(exit.success(), "stderr:\n{stderr}");
 }
 
 // ---------------------------------------------------------------------------

@@ -69,6 +69,17 @@ pub enum StoreError {
         /// Why the platform is unsupported.
         why: &'static str,
     },
+    /// The durable publish sequence failed at a named step (create-temp,
+    /// write-temp, sync-temp, rename, sync-dir). The attempt's temp file
+    /// was removed; the target path still holds whatever complete
+    /// container it held before.
+    Publish {
+        /// Name of the [`PublishStep`](crate::durable::PublishStep) that
+        /// failed.
+        step: &'static str,
+        /// The underlying I/O error (real or injected).
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -110,6 +121,9 @@ impl fmt::Display for StoreError {
                 "graph has {graph_vertices} vertices but index was built for {index_vertices}"
             ),
             StoreError::UnsupportedPlatform { why } => write!(f, "unsupported platform: {why}"),
+            StoreError::Publish { step, source } => {
+                write!(f, "durable publish failed at {step}: {source}")
+            }
         }
     }
 }
@@ -120,6 +134,7 @@ impl std::error::Error for StoreError {
             StoreError::Io(e) => Some(e),
             StoreError::InvalidGraph(e) => Some(e),
             StoreError::InvalidIndex(e) => Some(e),
+            StoreError::Publish { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -49,6 +49,7 @@
 
 mod backing;
 mod checksum;
+pub mod durable;
 mod error;
 mod format;
 mod generation;
@@ -103,17 +104,12 @@ pub fn save_with(
     Ok(bytes.len() as u64)
 }
 
-/// Write-to-temporary-then-rename, shared by every save entry point.
+/// Durable write-to-temporary-then-rename (temp fsync, rename, directory
+/// fsync — see [`durable`]), shared by every save entry point.
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp.{}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes)?;
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        std::fs::remove_file(&tmp).ok();
-        return Err(e.into());
-    }
-    Ok(())
+    // `SystemIo` proceeds at every step, so the outcome is always
+    // `Committed`; the `Crashed` arm only exists for fault simulators.
+    durable::publish_with(path, bytes, &durable::SystemIo).map(|_| ())
 }
 
 /// [`save_with`] plus the build's thread-count-invariant counters recorded
@@ -369,6 +365,41 @@ impl IndexStore {
     pub fn to_owned_parts(&self) -> (Graph, HighwayCoverIndex) {
         (self.graph().to_owned_graph(), self.index().to_owned_index())
     }
+
+    /// Re-runs the whole-file CRC-64 pass over this store's live backing
+    /// bytes, comparing against the checksum recorded in the header.
+    ///
+    /// This is the integrity-scrubber entry point: a store opened via
+    /// [`open_trusted`](IndexStore::open_trusted) (which skipped the CRC
+    /// pass), or one mapped long enough for storage rot to matter, can be
+    /// re-verified in place without reopening. Returns
+    /// [`StoreError::ChecksumMismatch`] when the bytes no longer hash to
+    /// the header's value.
+    pub fn verify_checksum(&self) -> Result<(), StoreError> {
+        let computed = format::file_checksum(self.backing.bytes());
+        let stored = self.layout.meta.checksum;
+        if computed != stored {
+            return Err(StoreError::ChecksumMismatch { stored, computed });
+        }
+        Ok(())
+    }
+}
+
+/// Fully validates the container at `path` — header, section geometry,
+/// whole-file CRC-64, and semantic CSR/label invariants — by reading it
+/// into a heap buffer, without constructing a served store. Returns the
+/// header metadata on success.
+///
+/// This is what the serving-path scrubber runs against a reload *source*:
+/// it always re-reads the file's current bytes (an existing mmap of the
+/// old inode would keep serving pre-rename contents), costs no mmap
+/// bookkeeping, and drops the buffer before returning.
+pub fn verify_file(path: impl AsRef<Path>) -> Result<StoreMeta, StoreError> {
+    let mut file = File::open(path.as_ref())?;
+    let len = file.metadata()?.len();
+    let buf = AlignedBuf::read_from(&mut file, len as usize)?;
+    let store = IndexStore::from_backing(Backing::Heap(buf), OpenMode::Validated)?;
+    Ok(store.layout.meta)
 }
 
 /// Resolves the packed label-entry slice for a layout: straight from the

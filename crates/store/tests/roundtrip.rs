@@ -52,6 +52,22 @@ fn save_load_query_equals_in_memory_on_all_families() {
                 name.replace(['(', ')', ',', '.', '⊎', '+'], "_")
             ));
             hcl_store::save(&path, &g, &idx).expect("save");
+            // The durable publish must consume its temp file: nothing
+            // named `<path>.tmp.*` may survive a successful save.
+            let dir = path.parent().expect("temp dir");
+            let tmp_prefix = format!(
+                "{}.tmp.",
+                path.file_name().expect("file name").to_string_lossy()
+            );
+            let leftovers: Vec<_> = std::fs::read_dir(dir)
+                .expect("read temp dir")
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().starts_with(&tmp_prefix))
+                .collect();
+            assert!(
+                leftovers.is_empty(),
+                "{name} k={k}: save left temp files: {leftovers:?}"
+            );
             let store = IndexStore::open(&path).expect("open saved file");
             assert_store_matches_owned(&format!("{name} k={k} file"), &g, &idx, &store);
             drop(store);

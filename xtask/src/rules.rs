@@ -97,6 +97,7 @@ pub fn safety_comment(files: &[SourceFile], allow: &mut Allowlist) -> Vec<Violat
 pub const SERVING_PATH_FILES: &[&str] = &[
     "crates/cli/src/server.rs",
     "crates/cli/src/pool.rs",
+    "crates/cli/src/scrub.rs",
     "crates/cli/src/slowlog.rs",
     "crates/cli/src/metrics.rs",
     "crates/cli/src/sync.rs",
@@ -623,12 +624,16 @@ fn bold_ints(text: &str) -> Vec<u64> {
 // ---------------------------------------------------------------------------
 
 /// Every `hcl_*` metric name emitted by the serving front end
-/// (`cli/src/metrics.rs`, `cli/src/server.rs`) must be documented in
-/// `docs/ARCHITECTURE.md` — dashboards are built from the docs, and an
+/// (`cli/src/metrics.rs`, `cli/src/server.rs`, `cli/src/scrub.rs`) must
+/// be documented in `docs/ARCHITECTURE.md` — dashboards are built from the docs, and an
 /// undocumented counter is invisible operational surface.
 pub fn metrics_docs(root: &Path, files: &[SourceFile]) -> Vec<Violation> {
     const RULE: &str = "metrics-docs";
-    const EMITTERS: &[&str] = &["crates/cli/src/metrics.rs", "crates/cli/src/server.rs"];
+    const EMITTERS: &[&str] = &[
+        "crates/cli/src/metrics.rs",
+        "crates/cli/src/server.rs",
+        "crates/cli/src/scrub.rs",
+    ];
     const DOC: &str = "docs/ARCHITECTURE.md";
     let mut out = Vec::new();
     let doc_text = match std::fs::read_to_string(root.join(DOC)) {
