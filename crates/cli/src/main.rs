@@ -8,7 +8,9 @@
 //!           [--strategy S]) [--queries FILE | --random N] [--seed S]
 //!           [--workers W] [--verify] [--explain]
 //! hcl serve (--index FILE.hcl [--trusted] | <graph.edges> [--landmarks K]
-//!           [--strategy S]) [--workers W] [--slow-log-us N] [--quiet]
+//!           [--strategy S]) [--workers W] [--compact-after N]
+//!           [--slow-log-us N] [--quiet]
+//! hcl update <FILE.hcl> [--deltas FILE] [--compact-after N] [--compact]
 //! hcl inspect <FILE.hcl> [--stats]
 //! ```
 //!
@@ -42,8 +44,9 @@ mod scrub;
 mod server;
 mod slowlog;
 mod sync;
+mod update;
 
-use hcl_core::{bfs, Graph, GraphBuilder, GraphView, VertexId};
+use hcl_core::{bfs, EdgeDelta, Graph, GraphBuilder, GraphView, VertexId};
 use hcl_index::{
     BuildOptions, HighwayCoverIndex, IndexView, QueryContext, QueryStats, SelectionStrategy,
 };
@@ -125,8 +128,28 @@ const USAGE: &str = "usage: hcl <command> [args]\n\
            counted and reported at shutdown). --quiet suppresses the\n\
            stderr latency summary line; diagnostics and exit codes are\n\
            unchanged.\n\
+           Live edge updates: a stdin line `+u v` inserts the edge (u, v)\n\
+           and `-u v` deletes it — the index is repaired incrementally\n\
+           (no rebuild), answers after the line reflect the edit, and\n\
+           with --index the journalled container is written back to disk.\n\
+           In listen mode, POST /update with a body of such lines does\n\
+           the same atomically (in-flight queries finish on the old\n\
+           generation). --compact-after N folds the journal into the\n\
+           base sections once N deltas accumulate (0 = never, default).\n\
+       update <FILE.hcl> [--deltas FILE] [--compact-after N] [--compact]\n\
+              [--trusted]\n\
+           Apply a script of `+u v` / `-u v` edge deltas to a saved\n\
+           container offline, repairing the labels incrementally (no\n\
+           rebuild) and journalling the deltas for crash-safe replay at\n\
+           open. Deltas come from --deltas FILE or stdin; every\n\
+           non-comment line must be a delta (strict, unlike serve).\n\
+           --compact folds the journal into the base sections now;\n\
+           --compact-after N folds automatically once N deltas are\n\
+           pending. --trusted skips the open-time checksum pass.\n\
        inspect <FILE.hcl> [--stats]\n\
-           Print header metadata, build statistics, and the section table.\n\
+           Print header metadata, build statistics, journal state\n\
+           (pending deltas, size, compactions — format v6+), and the\n\
+           section table.\n\
            --stats adds the label-size histogram (p50/p99/max entries per\n\
            vertex), the top hubs by label frequency, and the recorded\n\
            build counters (BFS visits, domination cut rate, per-landmark\n\
@@ -370,7 +393,9 @@ enum Source {
         graph: Graph,
         index: HighwayCoverIndex,
     },
-    Stored(IndexStore),
+    // Boxed: an IndexStore (with its replay state) dwarfs the built pair,
+    // and `Source` moves through several call frames by value.
+    Stored(Box<IndexStore>),
 }
 
 impl Source {
@@ -421,7 +446,7 @@ impl Source {
                     },
                     load_time
                 );
-                Ok(Source::Stored(store))
+                Ok(Source::Stored(Box::new(store)))
             }
             (None, Some(path)) => {
                 let t0 = Instant::now();
@@ -471,7 +496,7 @@ impl Source {
     /// so a CRC pass over them proves nothing).
     fn into_store(self) -> Result<IndexStore, String> {
         match self {
-            Source::Stored(store) => Ok(store),
+            Source::Stored(store) => Ok(*store),
             Source::Built { graph, index } => {
                 let bytes = hcl_store::serialize(&graph, &index)
                     .map_err(|e| format!("serialising built index: {e}"))?;
@@ -909,6 +934,7 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut scrub_interval_s = 0u64;
     let mut slow_log_us: Option<u64> = None;
     let mut slow_log_file: Option<String> = None;
+    let mut compact_after = 0usize;
     let mut quiet = false;
     let mut listen_only_flag_seen: Option<&'static str> = None;
     let mut args = args.into_iter();
@@ -982,6 +1008,10 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 ))
             }
             "--slow-log-file" => slow_log_file = Some(next_value(&mut args, "--slow-log-file")),
+            "--compact-after" => {
+                compact_after =
+                    parse_or_usage(next_value(&mut args, "--compact-after"), "--compact-after")
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => help(),
             _ if graph_path.is_none() && !arg.starts_with('-') => graph_path = Some(arg),
@@ -1066,21 +1096,26 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 scrub_interval: (scrub_interval_s > 0)
                     .then(|| std::time::Duration::from_secs(scrub_interval_s)),
                 slow_log,
+                compact_after,
                 quiet,
             },
         );
     }
 
-    let (graph, index) = source.views();
-    let n = graph.num_vertices();
+    let n = {
+        let (graph, _) = source.views();
+        graph.num_vertices()
+    };
     let workers = resolve_workers(workers);
 
     let stdin = std::io::stdin();
     if workers > 1 {
         // Pooled throughput mode: the reader thread chunks stdin, workers
-        // share the index view with a private context each, and a
-        // sequence-numbered reorder buffer keeps stdout byte-identical to
-        // the sequential path.
+        // take per-chunk generation snapshots with a private context each,
+        // and a sequence-numbered reorder buffer keeps stdout
+        // byte-identical to the sequential path. The generation handle
+        // exists so `+u v` / `-u v` delta lines can swap in a repaired
+        // index without stopping the pool.
         if stdin.is_terminal() {
             eprintln!(
                 "serving with {workers} workers: one `u v` pair per line, answers flushed per \
@@ -1090,14 +1125,18 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
         }
         let metrics = metrics::ServerMetrics::new();
         let t0 = Instant::now();
+        let handle = hcl_store::GenerationHandle::new(source.into_store()?);
         let summary = pool::serve_pooled(
-            graph,
-            index,
+            &handle,
             workers,
             stdin.lock(),
             std::io::stdout(),
             &metrics,
             slow_log.as_deref(),
+            pool::UpdateConfig {
+                path: index_path.map(std::path::PathBuf::from),
+                compact_after,
+            },
         )?;
         if summary.closed {
             eprintln!("stdout closed by reader; shutting down");
@@ -1107,6 +1146,14 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
                 "served {} queries in {:.1?} with {workers} workers",
                 summary.served,
                 t0.elapsed()
+            );
+        }
+        if metrics.updates_applied.get() > 0 {
+            eprintln!(
+                "applied {} live update(s) ({} compaction(s), {} failed)",
+                metrics.updates_applied.get(),
+                metrics.compactions.get(),
+                metrics.update_failures.get()
             );
         }
         if let Some(line) = skipped_summary(&metrics) {
@@ -1134,12 +1181,33 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut out = stdout.lock();
     let mut ctx = QueryContext::new();
     let metrics = metrics::ServerMetrics::new();
+    // Live-update state: `None` until the first `+u v` / `-u v` line;
+    // afterwards queries are answered from the engine's repaired index
+    // instead of the original source.
+    let mut engine: Option<update::UpdateEngine> = None;
     let mut served = 0u64;
     let t0 = Instant::now();
     for (lineno, line) in stdin.lock().lines().enumerate() {
         let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if let Some((op, rest)) = update::delta_op(&line) {
+            apply_seq_delta(
+                op,
+                rest,
+                lineno + 1,
+                &source,
+                index_path.as_deref(),
+                compact_after,
+                &mut engine,
+                &metrics,
+            );
+            continue;
+        }
         let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n, &metrics) else {
             continue;
+        };
+        let (graph, index) = match engine.as_mut() {
+            Some(eng) => eng.views(),
+            None => source.views(),
         };
         let t1 = Instant::now();
         // The probe only rides along when a slow log wants its fields;
@@ -1177,6 +1245,14 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     if served > 0 {
         eprintln!("served {served} queries in {:.1?}", t0.elapsed());
     }
+    if metrics.updates_applied.get() > 0 {
+        eprintln!(
+            "applied {} live update(s) ({} compaction(s), {} failed)",
+            metrics.updates_applied.get(),
+            metrics.compactions.get(),
+            metrics.update_failures.get()
+        );
+    }
     if let Some(line) = skipped_summary(&metrics) {
         eprintln!("{line}");
     }
@@ -1193,6 +1269,191 @@ fn cmd_serve(args: Vec<String>) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Applies one `+u v` / `-u v` stdin line in sequential serving:
+/// incremental label repair, then write-back to the `--index` file (if
+/// any). The serve contract for bad lines holds — a stderr diagnostic, a
+/// failure-counter bump, and the session continues on the old state.
+#[allow(clippy::too_many_arguments)]
+fn apply_seq_delta(
+    op: hcl_core::DeltaOp,
+    rest: &str,
+    lineno: usize,
+    source: &Source,
+    index_path: Option<&str>,
+    compact_after: usize,
+    engine: &mut Option<update::UpdateEngine>,
+    metrics: &metrics::ServerMetrics,
+) {
+    let delta = match update::parse_delta_rest(op, rest, "stdin", lineno) {
+        Ok(delta) => delta,
+        Err(msg) => {
+            metrics.update_failures.inc();
+            eprintln!("error: {msg}");
+            return;
+        }
+    };
+    if engine.is_none() {
+        *engine = Some(match source {
+            Source::Stored(store) => update::UpdateEngine::from_store(
+                store,
+                index_path.map(std::path::PathBuf::from),
+                compact_after,
+            ),
+            Source::Built { graph, index } => {
+                update::UpdateEngine::from_views(graph.as_view(), index.as_view(), compact_after)
+            }
+        });
+    }
+    let mut discard = false;
+    if let Some(eng) = engine.as_mut() {
+        match eng.apply(delta) {
+            Ok(outcome) if !outcome.applied => {
+                eprintln!("update stdin:{lineno}: {delta} is a no-op (edge state unchanged)");
+            }
+            Ok(_) => match eng.persist() {
+                Ok(report) => {
+                    metrics.updates_applied.inc();
+                    if report.compacted {
+                        metrics.compactions.inc();
+                    }
+                    eprintln!(
+                        "update stdin:{lineno}: applied {delta}{}{}",
+                        if report.compacted {
+                            "; journal compacted"
+                        } else {
+                            ""
+                        },
+                        match report.bytes {
+                            Some(b) => format!("; {b} bytes written to disk"),
+                            None => String::new(),
+                        }
+                    );
+                }
+                Err(e) => {
+                    // Persistence failed after the in-memory repair: drop
+                    // the engine so served answers revert to the state the
+                    // container on disk still holds.
+                    discard = true;
+                    metrics.update_failures.inc();
+                    eprintln!("error: stdin:{lineno}: persisting {delta} failed: {e}");
+                }
+            },
+            Err(e) => {
+                metrics.update_failures.inc();
+                eprintln!("error: stdin:{lineno}: {e}");
+            }
+        }
+    }
+    if discard {
+        *engine = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hcl update
+// ---------------------------------------------------------------------------
+
+fn cmd_update(args: Vec<String>) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut deltas_path: Option<String> = None;
+    let mut compact_after = 0usize;
+    let mut force_compact = false;
+    let mut trusted = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deltas" | "-d" => deltas_path = Some(next_value(&mut args, "--deltas")),
+            "--compact-after" => {
+                compact_after =
+                    parse_or_usage(next_value(&mut args, "--compact-after"), "--compact-after")
+            }
+            "--compact" => force_compact = true,
+            "--trusted" => trusted = true,
+            "--help" | "-h" => help(),
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("error: unrecognised argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("error: update needs an index-file path");
+        usage()
+    });
+
+    // Read the whole delta script up front (strict grammar: every
+    // non-blank, non-comment line must be a delta) so a typo on line 40
+    // aborts before line 1 mutates anything.
+    fn read_deltas(reader: impl BufRead, what: &str) -> Result<Vec<EdgeDelta>, String> {
+        let mut deltas = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("reading {what}: {e}"))?;
+            if let Some(delta) = update::parse_delta_line(&line, what, lineno + 1)? {
+                deltas.push(delta);
+            }
+        }
+        Ok(deltas)
+    }
+    let deltas = match &deltas_path {
+        Some(file) => {
+            let f = std::fs::File::open(file).map_err(|e| format!("opening {file}: {e}"))?;
+            read_deltas(std::io::BufReader::new(f), file)?
+        }
+        None => read_deltas(std::io::stdin().lock(), "stdin")?,
+    };
+
+    let t0 = Instant::now();
+    let store = if trusted {
+        IndexStore::open_trusted(&path)
+    } else {
+        IndexStore::open(&path)
+    }
+    .map_err(|e| format!("opening {path}: {e}"))?;
+    let mut engine = update::UpdateEngine::from_store(
+        &store,
+        Some(std::path::PathBuf::from(&path)),
+        compact_after,
+    );
+    // The engine owns everything it needs; release the mapping before the
+    // write-back replaces the file under it.
+    drop(store);
+
+    let mut applied = 0u64;
+    let mut noops = 0u64;
+    let mut trees = 0usize;
+    let mut full_relabels = 0u64;
+    for delta in deltas {
+        let outcome = engine.apply(delta)?;
+        if outcome.applied {
+            applied += 1;
+            trees += outcome.affected_landmarks;
+            if outcome.full_relabel {
+                full_relabels += 1;
+            }
+        } else {
+            noops += 1;
+        }
+    }
+    if force_compact {
+        engine.compact();
+    }
+    let report = engine.persist()?;
+    eprintln!(
+        "updated {path}: {applied} delta(s) applied ({noops} no-op), {trees} landmark tree(s) \
+         repaired, {full_relabels} full relabel(s); journal: {} pending, {} compaction(s){}; \
+         took {:.1?}",
+        engine.pending(),
+        engine.compactions(),
+        match report.bytes {
+            Some(b) => format!(", {b} bytes written"),
+            None => String::new(),
+        },
+        t0.elapsed()
+    );
     Ok(())
 }
 
@@ -1357,6 +1618,19 @@ fn cmd_inspect(args: Vec<String>) -> Result<(), String> {
                 meta.build.threads, meta.build.batch_size
             )?;
         }
+        match store.journal() {
+            Some(j) => writeln!(
+                out,
+                "journal:       {} pending delta(s), {} B, {} compaction(s)",
+                j.len(),
+                store.journal_bytes(),
+                j.compactions
+            )?,
+            None => writeln!(
+                out,
+                "journal:       (none; live-update journals start at format v6)"
+            )?,
+        }
         writeln!(out, "sections:")?;
         for s in store.sections() {
             writeln!(
@@ -1394,6 +1668,7 @@ fn run() -> Result<(), String> {
         "build" => cmd_build(args.split_off(1)),
         "query" => cmd_query(args.split_off(1)),
         "serve" => cmd_serve(args.split_off(1)),
+        "update" => cmd_update(args.split_off(1)),
         "inspect" => cmd_inspect(args.split_off(1)),
         "--help" | "-h" => help(),
         // Legacy invocation: `hcl <graph.edges> [query flags]`.

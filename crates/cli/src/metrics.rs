@@ -148,6 +148,12 @@ impl Counter {
         self.value.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds a whole batch at once (e.g. every delta a `POST /update`
+    /// body applied).
+    pub(crate) fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -189,6 +195,14 @@ pub(crate) struct ServerMetrics {
     pub(crate) scrub_passes: Counter,
     /// Scrub passes that detected corruption (the server degrades).
     pub(crate) scrub_failures: Counter,
+    /// Edge deltas applied through live updates (stdin `+u v` / `-u v`
+    /// lines and `POST /update` bodies); no-op deltas are not counted.
+    pub(crate) updates_applied: Counter,
+    /// Update requests rejected (parse error, invalid delta, or a
+    /// persistence failure — the previous generation stays live).
+    pub(crate) update_failures: Counter,
+    /// Journal folds triggered by `--compact-after` during live updates.
+    pub(crate) compactions: Counter,
     /// Degradation gauge: non-zero while `/healthz` reports `degraded`
     /// (corruption detected by the scrubber, cleared by a clean scrub
     /// pass or a successful reload).
@@ -226,6 +240,9 @@ impl ServerMetrics {
             reload_failures: Counter::new("hcl_reload_failures_total"),
             scrub_passes: Counter::new("hcl_scrub_passes_total"),
             scrub_failures: Counter::new("hcl_scrub_failures_total"),
+            updates_applied: Counter::new("hcl_updates_applied_total"),
+            update_failures: Counter::new("hcl_update_failures_total"),
+            compactions: Counter::new("hcl_compactions_total"),
             degraded: AtomicU64::new(0),
             answers_label_hit: Counter::new("hcl_answers_label_hit_total"),
             answers_highway: Counter::new("hcl_answers_highway_total"),
@@ -273,6 +290,9 @@ impl ServerMetrics {
             &self.reload_failures,
             &self.scrub_passes,
             &self.scrub_failures,
+            &self.updates_applied,
+            &self.update_failures,
+            &self.compactions,
             &self.answers_label_hit,
             &self.answers_highway,
             &self.answers_bfs,
@@ -405,6 +425,9 @@ mod tests {
             "hcl_answers_disconnected_total 0\n",
             "hcl_scrub_passes_total 0\n",
             "hcl_scrub_failures_total 0\n",
+            "hcl_updates_applied_total 0\n",
+            "hcl_update_failures_total 0\n",
+            "hcl_compactions_total 0\n",
             "hcl_degraded 0\n",
             "hcl_latency_samples 1\n",
             "hcl_latency_us{quantile=\"0.99\"}",

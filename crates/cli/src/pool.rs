@@ -36,11 +36,14 @@
 use crate::metrics::ServerMetrics;
 use crate::slowlog::{SlowLog, SlowQuery};
 use crate::sync::{lock_recover, wait_recover};
+use crate::update::{delta_op, parse_delta_rest, UpdateEngine};
 use crate::validate_serve_pair;
 use hcl_core::{GraphView, VertexId};
 use hcl_index::{IndexView, QueryContext, QueryStats};
+use hcl_store::GenerationHandle;
 use std::collections::HashMap;
 use std::io::{BufRead, ErrorKind, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Condvar, Mutex};
@@ -133,23 +136,38 @@ type Job = (u64, Vec<(VertexId, VertexId, Instant)>);
 /// each answer's latency *after* the bytes are flushed.
 type Chunk = (u64, String, Vec<Instant>);
 
+/// Live-update wiring for a pooled serving session: where `-u v` deltas
+/// persist and when the journal auto-compacts.
+pub(crate) struct UpdateConfig {
+    /// `.hcl` file to write updated containers back to; `None` for an
+    /// index built in memory from an edge list (updates stay in memory).
+    pub(crate) path: Option<PathBuf>,
+    /// `--compact-after N`: fold the journal once it holds N deltas
+    /// (0 = never).
+    pub(crate) compact_after: usize,
+}
+
 /// Streams `u v` queries from `input` through a pool of `workers` query
-/// threads, writing answers to `output` in input order.
+/// threads, writing answers to `output` in input order. `+u v` / `-u v`
+/// lines are edge deltas: the reader quiesces the pool (all earlier
+/// answers flushed), repairs the index incrementally, and publishes the
+/// result as a new generation — answers before the delta line come from
+/// the old graph, answers after it from the new one, exactly as in
+/// sequential serving.
 ///
 /// The calling thread reads and validates input (diagnostics to stderr in
 /// input order, bad lines skipped — the serve contract); workers answer
-/// and format; a writer thread reorders and writes. See the module docs
-/// for the channel/ordering design.
+/// and format on per-chunk generation snapshots; a writer thread reorders
+/// and writes. See the module docs for the channel/ordering design.
 pub(crate) fn serve_pooled(
-    graph: GraphView<'_>,
-    index: IndexView<'_>,
+    handle: &GenerationHandle,
     workers: usize,
     input: impl BufRead,
     output: impl Write + Send,
     metrics: &ServerMetrics,
     slow_log: Option<&SlowLog>,
+    updates: UpdateConfig,
 ) -> Result<ServeSummary, String> {
-    let n = graph.num_vertices();
     let shutdown = AtomicBool::new(false);
     // Bounded everywhere: the channels cap chunks in transit, and the
     // reader additionally never runs more than WINDOW_CHUNKS_PER_WORKER
@@ -168,7 +186,7 @@ pub(crate) fn serve_pooled(
         for worker in 0..workers {
             let job_rx = &job_rx;
             let res_tx = res_tx.clone();
-            s.spawn(move || worker_loop(graph, index, job_rx, res_tx, shutdown, slow_log, worker));
+            s.spawn(move || worker_loop(handle, job_rx, res_tx, shutdown, slow_log, worker));
         }
         // The clones above keep the channel open; drop the original so the
         // writer sees EOF once every worker is done.
@@ -176,7 +194,9 @@ pub(crate) fn serve_pooled(
 
         let writer = s.spawn(move || writer_loop(output, res_rx, shutdown, window, metrics));
 
-        let read_result = read_loop(n, input, job_tx, shutdown, window, workers, metrics);
+        let read_result = read_loop(
+            handle, updates, input, job_tx, shutdown, window, workers, metrics,
+        );
 
         // A writer panic is reported as a serve error, not re-raised: the
         // reader has already returned (join happens after `read_loop`), so
@@ -235,13 +255,26 @@ impl Window {
         *lock_recover(&self.written, "window") = next_seq;
         self.cv.notify_all();
     }
+
+    /// Blocks until every chunk below `seq` has been flushed — the pool
+    /// quiesce point before an edge delta mutates the index. Shutdown
+    /// lifts the window to `u64::MAX`, so this can never park forever.
+    fn wait_drained(&self, seq: u64) {
+        let mut written = lock_recover(&self.written, "window");
+        while *written < seq {
+            written = wait_recover(&self.cv, written, "window");
+        }
+    }
 }
 
 /// Reads, validates, chunks, and enqueues stdin pairs; runs on the
 /// calling thread so input-order diagnostics need no cross-thread
-/// coordination.
+/// coordination. Delta lines quiesce the pool and swap generations here,
+/// between chunks, so the answer stream splits exactly at the delta.
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
-    n: usize,
+    handle: &GenerationHandle,
+    updates: UpdateConfig,
     input: impl BufRead,
     job_tx: SyncSender<Job>,
     shutdown: &AtomicBool,
@@ -249,9 +282,11 @@ fn read_loop(
     workers: usize,
     metrics: &ServerMetrics,
 ) -> Result<(), String> {
+    let n = handle.current().store.graph().num_vertices();
     let width = workers as u64 * WINDOW_CHUNKS_PER_WORKER;
     let mut seq = 0u64;
     let mut batch: Vec<(VertexId, VertexId, Instant)> = Vec::with_capacity(CHUNK);
+    let mut engine: Option<UpdateEngine> = None;
     let mut result = Ok(());
     for (lineno, line) in input.lines().enumerate() {
         if shutdown.load(Ordering::Acquire) {
@@ -266,6 +301,25 @@ fn read_loop(
                 break;
             }
         };
+        if let Some((op, rest)) = delta_op(&line) {
+            // Quiesce: flush the partial chunk and wait until everything
+            // enqueued so far is on the wire, so no in-flight chunk can
+            // straddle the generation swap.
+            if !batch.is_empty() {
+                window.wait_for(seq, width);
+                let full = std::mem::replace(&mut batch, Vec::with_capacity(CHUNK));
+                if job_tx.send((seq, full)).is_err() {
+                    return result;
+                }
+                seq += 1;
+            }
+            window.wait_drained(seq);
+            if shutdown.load(Ordering::Acquire) {
+                return result;
+            }
+            apply_stdin_delta(op, rest, lineno + 1, handle, &updates, &mut engine, metrics);
+            continue;
+        }
         let Some((u, v)) = validate_serve_pair(&line, lineno + 1, n, metrics) else {
             continue;
         };
@@ -289,6 +343,75 @@ fn read_loop(
     result
 }
 
+/// Applies one `+u v` / `-u v` stdin line: incremental repair, persist,
+/// publish as a new generation. The serve contract for bad lines holds —
+/// a stderr diagnostic, a failure-counter bump, and the session continues
+/// on the old state. The caller has already quiesced the pool.
+fn apply_stdin_delta(
+    op: hcl_core::DeltaOp,
+    rest: &str,
+    lineno: usize,
+    handle: &GenerationHandle,
+    updates: &UpdateConfig,
+    engine: &mut Option<UpdateEngine>,
+    metrics: &ServerMetrics,
+) {
+    let delta = match parse_delta_rest(op, rest, "stdin", lineno) {
+        Ok(delta) => delta,
+        Err(msg) => {
+            metrics.update_failures.inc();
+            eprintln!("error: {msg}");
+            return;
+        }
+    };
+    if engine.is_none() {
+        let generation = handle.current();
+        *engine = Some(UpdateEngine::from_store(
+            &generation.store,
+            updates.path.clone(),
+            updates.compact_after,
+        ));
+    }
+    let Some(eng) = engine.as_mut() else {
+        return; // unreachable: the slot was just filled
+    };
+    match eng.apply(delta) {
+        Ok(outcome) if !outcome.applied => {
+            eprintln!("update stdin:{lineno}: {delta} is a no-op (edge state unchanged)");
+        }
+        Ok(_) => {
+            let published = eng
+                .persist()
+                .and_then(|report| eng.fold_store().map(|store| (report, store)));
+            match published {
+                Ok((report, store)) => {
+                    let generation = handle.swap(store);
+                    metrics.updates_applied.inc();
+                    if report.compacted {
+                        metrics.compactions.inc();
+                    }
+                    eprintln!(
+                        "update stdin:{lineno}: applied {delta}; now serving generation \
+                         {generation}"
+                    );
+                }
+                Err(e) => {
+                    // The in-memory repair succeeded but publication
+                    // failed: discard the engine so the next delta
+                    // restarts from the generation actually being served.
+                    *engine = None;
+                    metrics.update_failures.inc();
+                    eprintln!("error: stdin:{lineno}: publishing {delta} failed: {e}");
+                }
+            }
+        }
+        Err(e) => {
+            metrics.update_failures.inc();
+            eprintln!("error: stdin:{lineno}: {e}");
+        }
+    }
+}
+
 /// Claims chunks, answers them on a private context, formats the output
 /// bytes. Skips the work (but keeps draining) once shutdown is flagged.
 /// When a slow log is attached, every query runs with the stats probe and
@@ -297,8 +420,7 @@ fn read_loop(
 /// in it — but the slow part of a slow query is the queue and the query,
 /// which are).
 fn worker_loop(
-    graph: GraphView<'_>,
-    index: IndexView<'_>,
+    handle: &GenerationHandle,
     job_rx: &Mutex<Receiver<Job>>,
     res_tx: SyncSender<Chunk>,
     shutdown: &AtomicBool,
@@ -318,6 +440,14 @@ fn worker_loop(
         if shutdown.load(Ordering::Acquire) {
             continue; // drain without computing; nobody will write it
         }
+        // One generation snapshot per chunk: the reader quiesces the pool
+        // before swapping generations, so every chunk sees exactly the
+        // generation that was current when it was enqueued, and a swap
+        // can never unmap state under a running chunk.
+        let generation = handle.current();
+        let store = &generation.store;
+        let graph = store.graph();
+        let index = store.index();
         let mut buf = String::with_capacity(pairs.len() * 12);
         let mut stamps = Vec::with_capacity(pairs.len());
         for (u, v, stamp) in pairs {
@@ -333,7 +463,7 @@ fn worker_loop(
                         latency: stamp.elapsed(),
                         stats: &stats,
                         worker,
-                        generation: 1,
+                        generation: generation.number,
                     });
                     d
                 }

@@ -51,6 +51,7 @@
 use crate::metrics::ServerMetrics;
 use crate::parse_pair_line;
 use crate::slowlog::{SlowLog, SlowQuery};
+use crate::update::UpdateEngine;
 use hcl_index::{QueryContext, QueryStats};
 use hcl_store::{GenerationHandle, IndexStore};
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
@@ -72,6 +73,11 @@ const ACCEPT_TICK: Duration = Duration::from_millis(25);
 /// Read-timeout tick for connection handlers: how often an idle
 /// connection re-checks the shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Hard cap on a `POST /update` body. A delta line is under 25 bytes, so
+/// this admits tens of thousands of deltas per request while keeping
+/// per-connection memory bounded.
+const MAX_UPDATE_BODY: usize = 1024 * 1024;
 
 /// How the server re-opens the index on reload.
 pub(crate) struct ReloadSpec {
@@ -102,6 +108,15 @@ pub(crate) struct ServerState {
     reload_backoff: Duration,
     /// Slow-query sink (`--slow-log-us`), shared by every handler.
     slow_log: Option<Arc<SlowLog>>,
+    /// The live-update engine behind `POST /update`, created lazily from
+    /// the current generation on the first update. Cleared by a
+    /// successful reload (the file on disk superseded it) and by any
+    /// failed update (rollback: the next update restarts from the last
+    /// published generation).
+    update: Mutex<Option<UpdateEngine>>,
+    /// Fold the journal once it holds this many deltas (`--compact-after`,
+    /// 0 = never).
+    compact_after: usize,
 }
 
 /// Server configuration assembled by `cmd_serve`.
@@ -132,6 +147,8 @@ pub(crate) struct ServerConfig {
     pub(crate) scrub_interval: Option<Duration>,
     /// Slow-query log (`--slow-log-us` / `--slow-log-file`), if enabled.
     pub(crate) slow_log: Option<Arc<SlowLog>>,
+    /// Auto-compaction threshold for live updates (`--compact-after`).
+    pub(crate) compact_after: usize,
     /// Suppress the shutdown latency summary line (`--quiet`).
     pub(crate) quiet: bool,
 }
@@ -158,6 +175,8 @@ pub(crate) fn serve_listen(handle: GenerationHandle, cfg: ServerConfig) -> Resul
         reload_retries: cfg.reload_retries,
         reload_backoff: cfg.reload_backoff,
         slow_log: cfg.slow_log,
+        update: Mutex::new(None),
+        compact_after: cfg.compact_after,
     });
     sig::install(cfg.reload_signal);
 
@@ -340,6 +359,10 @@ pub(crate) fn do_reload(state: &ServerState) -> Result<u64, String> {
             Ok(store) => {
                 let generation = state.handle.swap(store);
                 state.metrics.reloads.inc();
+                // The file on disk superseded any in-memory update state:
+                // drop the engine so the next update restarts from this
+                // freshly published generation.
+                *crate::sync::lock_recover(&state.update, "update engine") = None;
                 if state.metrics.degraded.swap(0, Ordering::Relaxed) != 0 {
                     eprintln!(
                         "health restored: reload published a freshly validated generation; \
@@ -652,14 +675,23 @@ fn handle_http(
     let m = &state.metrics;
     m.http_requests.inc();
 
-    // Drain headers (bounded): we never need them, but the socket must be
-    // past them before the response for well-behaved clients.
+    // Drain headers (bounded): the only one we act on is Content-Length
+    // (to frame a `POST /update` body), but the socket must be past all
+    // of them before the response for well-behaved clients.
+    let mut content_length: Option<usize> = None;
     let mut header = Vec::with_capacity(128);
     for _ in 0..100 {
         header.clear();
         match read_line_bounded(reader, &mut header, MAX_LINE) {
             Ok(LineRead::Line) if header.is_empty() => break, // blank line: end of headers
-            Ok(LineRead::Line) => {}
+            Ok(LineRead::Line) => {
+                let text = String::from_utf8_lossy(&header);
+                if let Some((name, value)) = text.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse::<usize>().ok();
+                    }
+                }
+            }
             Ok(LineRead::TimedOut) => {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
@@ -689,7 +721,7 @@ fn handle_http(
             return;
         }
     };
-    if method == "POST" && target != "/reload" {
+    if method == "POST" && target != "/reload" && target != "/update" {
         respond(
             writer,
             state,
@@ -698,6 +730,18 @@ fn handle_http(
             "Method Not Allowed",
             "text/plain",
             "try GET\n",
+        );
+        return;
+    }
+    if target == "/update" && method != "POST" {
+        respond(
+            writer,
+            state,
+            peer,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "try POST\n",
         );
         return;
     }
@@ -731,6 +775,7 @@ fn handle_http(
             respond(writer, state, peer, 200, "OK", "text/plain", &body);
         }
         "/query" => handle_http_query(query, writer, ctx, state, peer, worker),
+        "/update" => handle_http_update(content_length, reader, writer, state, peer),
         "/reload" => match do_reload(state) {
             Ok(generation) => {
                 let body = format!("{{\"ok\":true,\"generation\":{generation}}}\n");
@@ -847,6 +892,234 @@ fn handle_http_query(
             });
         }
     }
+}
+
+/// Reads exactly `len` body bytes, honouring the shutdown flag on
+/// read-timeout ticks. `Err` means the connection is past saving (peer
+/// vanished or the server is draining) — close without a response.
+fn read_body_bounded(
+    reader: &mut impl BufRead,
+    len: usize,
+    state: &ServerState,
+) -> Result<Vec<u8>, ()> {
+    let mut body = Vec::with_capacity(len.min(MAX_UPDATE_BODY));
+    while body.len() < len {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Err(());
+                }
+                continue;
+            }
+            Err(_) => return Err(()),
+        };
+        if available.is_empty() {
+            return Err(()); // peer closed mid-body
+        }
+        let take = available.len().min(len - body.len());
+        body.extend_from_slice(&available[..take]);
+        reader.consume(take);
+    }
+    Ok(body)
+}
+
+/// `POST /update`: a body of `+u v` / `-u v` lines applied through
+/// incremental label repair and published as a new generation.
+///
+/// The whole batch is transactional from the client's point of view: the
+/// deltas are parsed up front, applied to the (lazily created) update
+/// engine, persisted to the `--index` file, and only then swapped in. On
+/// *any* failure the engine is discarded — the served generation and the
+/// file on disk keep their pre-request state, and the next update
+/// restarts from the last published generation.
+fn handle_http_update(
+    content_length: Option<usize>,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    state: &ServerState,
+    peer: &str,
+) {
+    let m = &state.metrics;
+    let Some(len) = content_length else {
+        m.update_failures.inc();
+        respond(
+            writer,
+            state,
+            peer,
+            411,
+            "Length Required",
+            "application/json",
+            "{\"ok\":false,\"error\":\"POST /update needs a Content-Length body of delta lines\"}\n",
+        );
+        return;
+    };
+    if len > MAX_UPDATE_BODY {
+        m.update_failures.inc();
+        let body =
+            format!("{{\"ok\":false,\"error\":\"update body exceeds {MAX_UPDATE_BODY} bytes\"}}\n");
+        respond(
+            writer,
+            state,
+            peer,
+            413,
+            "Payload Too Large",
+            "application/json",
+            &body,
+        );
+        return;
+    }
+    let Ok(body) = read_body_bounded(reader, len, state) else {
+        m.disconnects.inc();
+        return;
+    };
+    let text = String::from_utf8_lossy(&body);
+
+    // Parse the whole batch before touching anything: a body with any
+    // bad line is rejected as a unit.
+    let mut deltas = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        match crate::update::parse_delta_line(line, peer, idx + 1) {
+            Ok(Some(delta)) => deltas.push(delta),
+            Ok(None) => {}
+            Err(e) => {
+                m.update_failures.inc();
+                let body = format!("{{\"ok\":false,\"error\":{e:?}}}\n");
+                respond(
+                    writer,
+                    state,
+                    peer,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &body,
+                );
+                return;
+            }
+        }
+    }
+
+    // Same lock order as `do_reload` (reload first, then the engine
+    // slot): an update and a concurrent reload serialise end-to-end, so
+    // a reload can never unmap state an update is folding from.
+    let _serialised = crate::sync::lock_recover(&state.reload_lock, "reload");
+    let mut slot = crate::sync::lock_recover(&state.update, "update engine");
+    if slot.is_none() {
+        let generation = state.handle.current();
+        let path = state
+            .reload
+            .as_ref()
+            .map(|spec| std::path::PathBuf::from(&spec.path));
+        *slot = Some(UpdateEngine::from_store(
+            &generation.store,
+            path,
+            state.compact_after,
+        ));
+    }
+    // The slot was just filled above; a vacant slot here is unreachable,
+    // but degrade to an error response rather than panic on this path.
+    let Some(engine) = slot.as_mut() else {
+        m.update_failures.inc();
+        respond(
+            writer,
+            state,
+            peer,
+            500,
+            "Internal Server Error",
+            "application/json",
+            "{\"ok\":false,\"error\":\"update engine unavailable\"}\n",
+        );
+        return;
+    };
+
+    match run_update(engine, deltas) {
+        Err((status, reason, err)) => {
+            // Rollback: drop the half-updated engine. The served
+            // generation and the file on disk still hold the pre-request
+            // state, and the next update restarts from them.
+            *slot = None;
+            m.update_failures.inc();
+            let body = format!("{{\"ok\":false,\"error\":{err:?}}}\n");
+            respond(
+                writer,
+                state,
+                peer,
+                status,
+                reason,
+                "application/json",
+                &body,
+            );
+        }
+        Ok(done) => {
+            let generation = state.handle.swap(done.store);
+            m.updates_applied.add(done.applied);
+            if done.persisted.compacted {
+                m.compactions.inc();
+            }
+            eprintln!(
+                "update from {peer}: {} delta(s) applied ({} no-op) as generation {generation}{}{}",
+                done.applied,
+                done.ignored,
+                if done.persisted.compacted {
+                    "; journal compacted"
+                } else {
+                    ""
+                },
+                match done.persisted.bytes {
+                    Some(b) => format!("; {b} bytes written to disk"),
+                    None => "; in-memory index, nothing persisted".to_string(),
+                }
+            );
+            let body = format!(
+                "{{\"ok\":true,\"applied\":{},\"ignored\":{},\"pending\":{},\
+                 \"generation\":{generation}}}\n",
+                done.applied, done.ignored, done.pending
+            );
+            respond(writer, state, peer, 200, "OK", "application/json", &body);
+        }
+    }
+}
+
+/// What a successful `/update` batch produced, ready to publish.
+struct UpdateDone {
+    applied: u64,
+    ignored: u64,
+    pending: usize,
+    persisted: crate::update::PersistReport,
+    store: IndexStore,
+}
+
+/// Applies a parsed delta batch to the engine, persists, and folds the
+/// live state into a swappable store. Pure engine work — no locking, no
+/// I/O to the client — so the caller can treat any `Err` as "discard the
+/// engine and report `(status, reason, message)`".
+fn run_update(
+    engine: &mut UpdateEngine,
+    deltas: Vec<hcl_core::EdgeDelta>,
+) -> Result<UpdateDone, (u16, &'static str, String)> {
+    let mut applied = 0u64;
+    let mut ignored = 0u64;
+    for delta in deltas {
+        match engine.apply(delta) {
+            Ok(outcome) if outcome.applied => applied += 1,
+            Ok(_) => ignored += 1,
+            Err(e) => return Err((400, "Bad Request", e)),
+        }
+    }
+    let persisted = engine
+        .persist()
+        .map_err(|e| (500, "Internal Server Error", e))?;
+    let store = engine
+        .fold_store()
+        .map_err(|e| (500, "Internal Server Error", e))?;
+    Ok(UpdateDone {
+        applied,
+        ignored,
+        pending: engine.pending(),
+        persisted,
+        store,
+    })
 }
 
 /// Writes one complete HTTP response. Returns `true` on success (the

@@ -1,0 +1,395 @@
+//! Live edge updates: the engine every serving mode routes `+u v` /
+//! `-u v` deltas through.
+//!
+//! [`UpdateEngine`] holds both halves of the journalled-container
+//! contract in memory:
+//!
+//! * the **base** state — graph and labels exactly as the container's
+//!   base sections hold them (the as-last-compacted snapshot), plus the
+//!   delta journal accumulated since. Persisting writes *this* pair via
+//!   `save_with_journal`, so what lands on disk is always a container
+//!   whose open-time replay reconstructs the live state.
+//! * the **live** state — the base with every journalled delta applied,
+//!   maintained incrementally by `hcl-index`'s repair path (never a full
+//!   rebuild). Queries and generation swaps are served from here.
+//!
+//! The engine is deliberately transport-agnostic: the `update`
+//! subcommand drives it file-to-file, the stdin serve loops drive it a
+//! line at a time, and the socket server drives it from `POST /update`
+//! batches behind a mutex. Auto-compaction (`--compact-after N`) folds
+//! the journal into the base once it reaches N pending deltas, bounding
+//! both open-time replay work and journal growth.
+//!
+//! This file is on the request-serving path (the `no-panics` lint
+//! covers it): every failure degrades into a `Result` the caller can
+//! report and count, never a panic that would take a serving loop down.
+
+use hcl_core::{DeltaGraph, DeltaOp, EdgeDelta, Graph, GraphView};
+use hcl_index::repair::{DynamicIndex, RepairOutcome};
+use hcl_index::{BuildContext, HighwayCoverIndex, IndexView};
+use hcl_store::{BuildInfo, IndexStore, StoredJournal};
+use std::path::PathBuf;
+
+/// What one [`UpdateEngine::persist`] call did.
+pub(crate) struct PersistReport {
+    /// Bytes written to the backing file, or `None` for an in-memory
+    /// engine (no `--index` to write back to).
+    pub(crate) bytes: Option<u64>,
+    /// Whether the journal was folded into the base first
+    /// (`--compact-after` threshold reached, or an explicit compact).
+    pub(crate) compacted: bool,
+}
+
+/// Incremental edge-update engine: applies deltas through label repair,
+/// journals them for durability, and hands out the live state for
+/// queries and generation swaps.
+pub(crate) struct UpdateEngine {
+    /// The as-last-compacted snapshot the on-disk base sections hold.
+    base_graph: Graph,
+    base_index: HighwayCoverIndex,
+    /// Build metadata carried through every rewrite of the container.
+    build: BuildInfo,
+    /// Deltas applied since the base snapshot, in application order.
+    journal: Vec<EdgeDelta>,
+    /// Journal folds so far (the container's compaction counter).
+    compactions: u64,
+    /// The live graph: base + journal, rematerialised after each apply.
+    live_graph: Graph,
+    /// The live labels in repairable form.
+    dynamic: DynamicIndex,
+    /// CSR-flattened cache of `dynamic`, refreshed lazily — repairs only
+    /// mark it stale, so a batch of deltas pays one flatten, not one per
+    /// delta.
+    live_index: HighwayCoverIndex,
+    stale: bool,
+    /// Reused BFS scratch for the repair path.
+    cx: BuildContext,
+    /// Where [`persist`](UpdateEngine::persist) writes, if anywhere.
+    path: Option<PathBuf>,
+    /// Fold the journal once it holds this many deltas (0 = never).
+    compact_after: usize,
+}
+
+impl UpdateEngine {
+    /// Builds the engine from an opened container: the base sections and
+    /// journal come across as-is, so a later [`persist`](
+    /// UpdateEngine::persist) continues the container's history instead
+    /// of restarting it.
+    pub(crate) fn from_store(
+        store: &IndexStore,
+        path: Option<PathBuf>,
+        compact_after: usize,
+    ) -> Self {
+        let (journal, compactions) = match store.journal() {
+            Some(j) => (j.deltas.clone(), j.compactions),
+            None => (Vec::new(), 0),
+        };
+        let dynamic = DynamicIndex::from_view(store.index());
+        let live_index = dynamic.to_index();
+        Self {
+            base_graph: store.base_graph().to_owned_graph(),
+            base_index: store.base_index().to_owned_index(),
+            build: store.meta().build,
+            journal,
+            compactions,
+            live_graph: store.graph().to_owned_graph(),
+            dynamic,
+            live_index,
+            stale: false,
+            cx: BuildContext::new(),
+            path,
+            compact_after,
+        }
+    }
+
+    /// Builds the engine around an index built in memory this session:
+    /// the current state doubles as the base, the journal starts empty,
+    /// and there is no file to persist to.
+    pub(crate) fn from_views(
+        graph: GraphView<'_>,
+        index: IndexView<'_>,
+        compact_after: usize,
+    ) -> Self {
+        let dynamic = DynamicIndex::from_view(index);
+        Self {
+            base_graph: graph.to_owned_graph(),
+            base_index: dynamic.to_index(),
+            build: BuildInfo::default(),
+            journal: Vec::new(),
+            compactions: 0,
+            live_graph: graph.to_owned_graph(),
+            live_index: dynamic.to_index(),
+            dynamic,
+            stale: false,
+            cx: BuildContext::new(),
+            path: None,
+            compact_after,
+        }
+    }
+
+    /// Applies one delta through incremental label repair. An
+    /// ineffective delta (inserting an existing edge, deleting a missing
+    /// one) returns `applied: false` and is *not* journalled; an invalid
+    /// one (out-of-range endpoint, self-loop) is an error and changes
+    /// nothing.
+    pub(crate) fn apply(&mut self, delta: EdgeDelta) -> Result<RepairOutcome, String> {
+        let mut overlay = DeltaGraph::new(self.live_graph.as_view());
+        let outcome = self
+            .dynamic
+            .apply_and_repair(&mut overlay, delta, &mut self.cx)
+            .map_err(|e| format!("applying {delta}: {e}"))?;
+        if outcome.applied {
+            self.live_graph = overlay.to_graph();
+            self.journal.push(delta);
+            self.stale = true;
+        }
+        Ok(outcome)
+    }
+
+    /// The live graph and index, for answering queries in-process.
+    pub(crate) fn views(&mut self) -> (GraphView<'_>, IndexView<'_>) {
+        if self.stale {
+            self.live_index = self.dynamic.to_index();
+            self.stale = false;
+        }
+        (self.live_graph.as_view(), self.live_index.as_view())
+    }
+
+    /// Pending (journalled, not yet folded) delta count.
+    pub(crate) fn pending(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Journal folds so far.
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Folds the journal into the base: the live state becomes the new
+    /// base snapshot, the journal empties, and the compaction counter
+    /// bumps (only if there was anything to fold).
+    pub(crate) fn compact(&mut self) {
+        if self.journal.is_empty() {
+            return;
+        }
+        self.base_graph = self.live_graph.clone();
+        self.base_index = self.dynamic.to_index();
+        self.journal.clear();
+        self.compactions += 1;
+    }
+
+    /// Writes the container back to its file (base sections + journal),
+    /// folding the journal first when the `--compact-after` threshold is
+    /// reached. Engines without a backing file only perform the fold.
+    pub(crate) fn persist(&mut self) -> Result<PersistReport, String> {
+        let compacted = self.compact_after > 0 && self.journal.len() >= self.compact_after;
+        if compacted {
+            self.compact();
+        }
+        let bytes = match &self.path {
+            Some(path) => {
+                let journal = StoredJournal {
+                    deltas: self.journal.clone(),
+                    compactions: self.compactions,
+                };
+                let written = hcl_store::save_with_journal(
+                    path,
+                    &self.base_graph,
+                    &self.base_index,
+                    self.build,
+                    &journal,
+                )
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                Some(written)
+            }
+            None => None,
+        };
+        Ok(PersistReport { bytes, compacted })
+    }
+
+    /// Serialises the **live** state into a fresh in-memory container for
+    /// a generation swap: the journal it carries is empty (the deltas are
+    /// already folded into its sections), so opening it replays nothing.
+    /// Trusted open — the bytes were produced in this process.
+    pub(crate) fn fold_store(&mut self) -> Result<IndexStore, String> {
+        if self.stale {
+            self.live_index = self.dynamic.to_index();
+            self.stale = false;
+        }
+        let journal = StoredJournal {
+            deltas: Vec::new(),
+            compactions: self.compactions,
+        };
+        let bytes = hcl_store::serialize_with_journal(
+            &self.live_graph,
+            &self.live_index,
+            self.build,
+            &journal,
+        )
+        .map_err(|e| format!("serialising updated index: {e}"))?;
+        IndexStore::from_bytes_trusted(&bytes)
+            .map_err(|e| format!("re-opening updated index image: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-line grammar
+// ---------------------------------------------------------------------------
+
+/// Splits a serve-loop input line into its delta operation and the `u v`
+/// remainder, or `None` when the line is not a delta (a plain query,
+/// blank, or comment). `+u v` inserts, `-u v` deletes; whitespace after
+/// the sign is allowed.
+pub(crate) fn delta_op(line: &str) -> Option<(DeltaOp, &str)> {
+    let trimmed = line.trim_start();
+    match trimmed.as_bytes().first() {
+        Some(b'+') => Some((DeltaOp::Insert, &trimmed[1..])),
+        Some(b'-') => Some((DeltaOp::Delete, &trimmed[1..])),
+        _ => None,
+    }
+}
+
+/// Parses the `u v` remainder of a delta line (after [`delta_op`] took
+/// the sign), with the same `<source>:<line>` diagnostics the query
+/// grammar produces.
+pub(crate) fn parse_delta_rest(
+    op: DeltaOp,
+    rest: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<EdgeDelta, String> {
+    match crate::parse_pair_line(rest, what, lineno)? {
+        Some((u, v)) => Ok(match op {
+            DeltaOp::Insert => EdgeDelta::insert(u, v),
+            DeltaOp::Delete => EdgeDelta::delete(u, v),
+        }),
+        None => Err(format!(
+            "{what}:{lineno}: expected two vertex ids after the delta sign"
+        )),
+    }
+}
+
+/// Strict delta-script parsing for `hcl update` input: every non-blank,
+/// non-comment line must be a `+u v` or `-u v` delta.
+pub(crate) fn parse_delta_line(
+    line: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<Option<EdgeDelta>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    match delta_op(trimmed) {
+        Some((op, rest)) => parse_delta_rest(op, rest, what, lineno).map(Some),
+        None => Err(format!(
+            "{what}:{lineno}: expected `+u v` (insert) or `-u v` (delete), got `{trimmed}`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcl_core::testkit;
+    use hcl_index::{BuildOptions, QueryContext};
+
+    fn engine_for(n: usize, k: usize, seed: u64) -> (Graph, UpdateEngine) {
+        let graph = testkit::barabasi_albert(n, 3, seed);
+        let index = HighwayCoverIndex::build_with(
+            &graph,
+            &BuildOptions {
+                num_landmarks: k,
+                ..Default::default()
+            },
+        );
+        let engine = UpdateEngine::from_views(graph.as_view(), index.as_view(), 0);
+        (graph, engine)
+    }
+
+    #[test]
+    fn delta_lines_parse_and_reject() {
+        assert_eq!(
+            parse_delta_line("+3 7", "t", 1).unwrap(),
+            Some(EdgeDelta::insert(3, 7))
+        );
+        assert_eq!(
+            parse_delta_line("  - 12 4 ", "t", 2).unwrap(),
+            Some(EdgeDelta::delete(12, 4))
+        );
+        assert_eq!(parse_delta_line("# comment", "t", 3).unwrap(), None);
+        assert_eq!(parse_delta_line("", "t", 4).unwrap(), None);
+        let err = parse_delta_line("3 7", "t", 5).unwrap_err();
+        assert!(err.contains("t:5"), "missing location: {err}");
+        let err = parse_delta_line("+3", "t", 6).unwrap_err();
+        assert!(err.contains("t:6"), "missing location: {err}");
+        let err = parse_delta_line("+3 7 9", "t", 7).unwrap_err();
+        assert!(err.contains("trailing"), "wrong diagnosis: {err}");
+    }
+
+    #[test]
+    fn query_lines_are_not_deltas() {
+        assert!(delta_op("3 7").is_none());
+        assert!(delta_op("# note").is_none());
+        assert!(delta_op("").is_none());
+        assert!(delta_op("+1 2").is_some());
+        assert!(delta_op("-1 2").is_some());
+    }
+
+    #[test]
+    fn apply_updates_live_answers_and_journals() {
+        let (graph, mut engine) = engine_for(40, 4, 9);
+        // Find a non-adjacent pair at distance > 1 and connect it.
+        let mut pair = None;
+        'outer: for u in 0..40u32 {
+            for v in (u + 1)..40 {
+                if !graph.as_view().neighbors(u).contains(&v) {
+                    pair = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let (u, v) = pair.expect("a sparse graph has non-adjacent pairs");
+        let outcome = engine.apply(EdgeDelta::insert(u, v)).unwrap();
+        assert!(outcome.applied);
+        assert_eq!(engine.pending(), 1);
+        let mut ctx = QueryContext::new();
+        let (g, ix) = engine.views();
+        assert_eq!(ix.query_with(g, &mut ctx, u, v), Some(1));
+        // Re-inserting is a no-op and is not journalled.
+        let outcome = engine.apply(EdgeDelta::insert(u, v)).unwrap();
+        assert!(!outcome.applied);
+        assert_eq!(engine.pending(), 1);
+        // Invalid deltas are errors and change nothing.
+        assert!(engine.apply(EdgeDelta::insert(0, 40)).is_err());
+        assert!(engine.apply(EdgeDelta::insert(3, 3)).is_err());
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn compact_folds_journal_into_base() {
+        let (_graph, mut engine) = engine_for(30, 4, 2);
+        engine.apply(EdgeDelta::insert(0, 17)).unwrap();
+        engine.apply(EdgeDelta::delete(0, 17)).unwrap();
+        assert_eq!(engine.pending(), 2);
+        engine.compact();
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.compactions(), 1);
+        // Nothing pending: a second compact is a no-op.
+        engine.compact();
+        assert_eq!(engine.compactions(), 1);
+    }
+
+    #[test]
+    fn fold_store_swaps_in_the_live_answers() {
+        let (_graph, mut engine) = engine_for(30, 4, 5);
+        engine.apply(EdgeDelta::insert(2, 29)).unwrap();
+        let store = engine.fold_store().unwrap();
+        assert!(store.journal().unwrap().is_empty());
+        let mut ctx = QueryContext::new();
+        assert_eq!(
+            store.index().query_with(store.graph(), &mut ctx, 2, 29),
+            Some(1)
+        );
+    }
+}

@@ -4,11 +4,14 @@
 //! ground truth that the hub-labelling index is property-tested against, and
 //! as the fallback search primitive inside the query engine.
 //!
-//! Both oracles accept anything convertible to a [`GraphView`] — an owned
-//! `&Graph` or a borrowed view over a memory-mapped store — so verification
-//! works identically on every backing.
+//! Both oracles accept anything convertible to a
+//! [`DynGraphView`](crate::DynGraphView) — an owned `&Graph`, a borrowed
+//! [`GraphView`](crate::GraphView) over a memory-mapped store, or a
+//! [`DeltaGraph`](crate::DeltaGraph) edit overlay — so verification works
+//! identically on every backing, frozen or dynamic.
 
-use crate::graph::{GraphView, VertexId, INFINITY};
+use crate::delta::DynGraphView;
+use crate::graph::{VertexId, INFINITY};
 use std::collections::VecDeque;
 
 /// Observation hooks for BFS-shaped traversals.
@@ -91,7 +94,7 @@ impl BfsScratch {
 ///
 /// # Panics
 /// Panics if `src` is out of range.
-pub fn distances_from<'a>(graph: impl Into<GraphView<'a>>, src: VertexId) -> Vec<u32> {
+pub fn distances_from<'a>(graph: impl Into<DynGraphView<'a>>, src: VertexId) -> Vec<u32> {
     let graph = graph.into();
     let mut scratch = BfsScratch::new();
     distances_from_with(graph, src, &mut scratch);
@@ -109,7 +112,7 @@ pub fn distances_from<'a>(graph: impl Into<GraphView<'a>>, src: VertexId) -> Vec
 /// # Panics
 /// Panics if `src` is out of range.
 pub fn distances_from_with<'a>(
-    graph: impl Into<GraphView<'a>>,
+    graph: impl Into<DynGraphView<'a>>,
     src: VertexId,
     scratch: &mut BfsScratch,
 ) {
@@ -123,7 +126,7 @@ pub fn distances_from_with<'a>(
 /// # Panics
 /// Panics if `src` is out of range.
 pub fn distances_from_probed<'a, P: BfsProbe>(
-    graph: impl Into<GraphView<'a>>,
+    graph: impl Into<DynGraphView<'a>>,
     src: VertexId,
     scratch: &mut BfsScratch,
     probe: &mut P,
@@ -154,7 +157,7 @@ pub fn distances_from_probed<'a, P: BfsProbe>(
 ///
 /// # Panics
 /// Panics if `u` or `v` is out of range.
-pub fn distance<'a>(graph: impl Into<GraphView<'a>>, u: VertexId, v: VertexId) -> Option<u32> {
+pub fn distance<'a>(graph: impl Into<DynGraphView<'a>>, u: VertexId, v: VertexId) -> Option<u32> {
     distance_with(graph, u, v, &mut BfsScratch::new())
 }
 
@@ -164,7 +167,7 @@ pub fn distance<'a>(graph: impl Into<GraphView<'a>>, u: VertexId, v: VertexId) -
 /// # Panics
 /// Panics if `u` or `v` is out of range.
 pub fn distance_with<'a>(
-    graph: impl Into<GraphView<'a>>,
+    graph: impl Into<DynGraphView<'a>>,
     u: VertexId,
     v: VertexId,
     scratch: &mut BfsScratch,

@@ -1,0 +1,431 @@
+//! Mutable edge-delta overlay on the immutable CSR graph.
+//!
+//! The CSR layout ([`Graph`]/[`GraphView`]) is deliberately frozen: its
+//! contiguous arrays are what the store memory-maps and what every
+//! traversal iterates. Dynamic graphs are layered *on top* of it instead
+//! of mutating it: a [`DeltaGraph`] keeps the base view untouched and
+//! materialises a private, fully merged adjacency list only for the
+//! vertices an edit actually touched. `neighbors` therefore still returns
+//! a plain sorted `&[VertexId]` slice — patched vertices serve their
+//! overlay copy, everyone else serves the base CSR — so traversal code
+//! needs no per-edge branching and no iterator abstraction.
+//!
+//! [`DynGraphView`] is the enum-dispatched view unifying both worlds: the
+//! BFS oracles in [`crate::bfs`] accept `impl Into<DynGraphView>` and run
+//! unchanged over a frozen CSR or a base+delta overlay. The vertex set is
+//! fixed: deltas add and remove *edges* between existing vertices (the
+//! serving path's containers pin `n` at build time); growing the vertex
+//! set remains a rebuild.
+
+use crate::graph::{Graph, GraphBuilder, GraphView, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What an [`EdgeDelta`] does to the edge `(u, v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Add the undirected edge.
+    Insert,
+    /// Remove the undirected edge.
+    Delete,
+}
+
+impl DeltaOp {
+    /// The sign character the CLI protocols use (`+` insert, `-` delete).
+    pub fn sign(self) -> char {
+        match self {
+            DeltaOp::Insert => '+',
+            DeltaOp::Delete => '-',
+        }
+    }
+}
+
+/// One undirected edge edit. Endpoint order is irrelevant (the graph is
+/// undirected); `u == v` is invalid (self-loops are canonicalised away at
+/// build time and stay banned).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeDelta {
+    /// Insert or delete.
+    pub op: DeltaOp,
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+}
+
+impl EdgeDelta {
+    /// An insertion of edge `(u, v)`.
+    pub fn insert(u: VertexId, v: VertexId) -> Self {
+        Self {
+            op: DeltaOp::Insert,
+            u,
+            v,
+        }
+    }
+
+    /// A deletion of edge `(u, v)`.
+    pub fn delete(u: VertexId, v: VertexId) -> Self {
+        Self {
+            op: DeltaOp::Delete,
+            u,
+            v,
+        }
+    }
+
+    /// Checks the delta against a graph of `num_vertices` vertices without
+    /// applying it: both endpoints in range, no self-loop.
+    pub fn validate(&self, num_vertices: usize) -> Result<(), DeltaError> {
+        for vertex in [self.u, self.v] {
+            if vertex as usize >= num_vertices {
+                return Err(DeltaError::VertexOutOfRange {
+                    vertex,
+                    num_vertices,
+                });
+            }
+        }
+        if self.u == self.v {
+            return Err(DeltaError::SelfLoop { vertex: self.u });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} {}", self.op.sign(), self.u, self.v)
+    }
+}
+
+/// Why an [`EdgeDelta`] cannot be applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// An endpoint is not a vertex of the base graph (the vertex set is
+    /// fixed; growing it is a rebuild).
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// `u == v`: self-loops are not representable.
+    SelfLoop {
+        /// The endpoint.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range (graph has {num_vertices} vertices; \
+                 the vertex set is fixed — growing it requires a rebuild)"
+            ),
+            DeltaError::SelfLoop { vertex } => {
+                write!(f, "self-loop ({vertex}, {vertex}) is not a valid edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A mutable edge-delta overlay over an immutable base [`GraphView`].
+///
+/// Edits are applied with [`DeltaGraph::apply`]; adjacency reads come
+/// back as plain sorted slices (overlay copies for patched vertices, the
+/// base CSR for everyone else), so the overlay plugs into every traversal
+/// through [`DynGraphView`] without changing its inner loop. Materialise
+/// with [`DeltaGraph::to_graph`] once a batch of edits settles.
+pub struct DeltaGraph<'a> {
+    base: GraphView<'a>,
+    /// Fully merged, sorted adjacency for vertices whose neighbourhood
+    /// differs from the base.
+    patched: HashMap<VertexId, Vec<VertexId>>,
+    /// Undirected edge count after all applied deltas.
+    num_edges: usize,
+}
+
+impl<'a> DeltaGraph<'a> {
+    /// An overlay with no edits yet.
+    pub fn new(base: GraphView<'a>) -> Self {
+        Self {
+            base,
+            patched: HashMap::new(),
+            num_edges: base.num_edges(),
+        }
+    }
+
+    /// Number of vertices (fixed: always the base graph's count).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of undirected edges after all applied deltas.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of vertices whose adjacency differs from the base.
+    pub fn num_patched(&self) -> usize {
+        self.patched.len()
+    }
+
+    /// The sorted neighbour list of `v`: the overlay copy if `v` was
+    /// touched by an edit, the base CSR slice otherwise.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range (same contract as [`GraphView`]).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self.patched.get(&v) {
+            Some(adj) => adj,
+            None => self.base.neighbors(v),
+        }
+    }
+
+    /// Whether `u` and `v` are adjacent (`O(log degree(u))`).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Applies one edit. `Ok(true)` when the graph changed, `Ok(false)`
+    /// for a no-op (inserting an existing edge, deleting a missing one) —
+    /// callers use the distinction to skip label repair and to keep
+    /// journals free of dead entries.
+    pub fn apply(&mut self, delta: EdgeDelta) -> Result<bool, DeltaError> {
+        delta.validate(self.num_vertices())?;
+        let present = self.has_edge(delta.u, delta.v);
+        let effective = match delta.op {
+            DeltaOp::Insert => !present,
+            DeltaOp::Delete => present,
+        };
+        if !effective {
+            return Ok(false);
+        }
+        for (a, b) in [(delta.u, delta.v), (delta.v, delta.u)] {
+            let adj = self
+                .patched
+                .entry(a)
+                .or_insert_with(|| self.base.neighbors(a).to_vec());
+            match (delta.op, adj.binary_search(&b)) {
+                (DeltaOp::Insert, Err(pos)) => adj.insert(pos, b),
+                (DeltaOp::Delete, Ok(pos)) => {
+                    adj.remove(pos);
+                }
+                // `present` was checked on the merged adjacency, and both
+                // directions stay in lockstep, so these arms cannot occur.
+                _ => {}
+            }
+        }
+        match delta.op {
+            DeltaOp::Insert => self.num_edges = self.num_edges.saturating_add(1),
+            DeltaOp::Delete => self.num_edges = self.num_edges.saturating_sub(1),
+        }
+        Ok(true)
+    }
+
+    /// Materialises the overlay into an owned, canonical CSR [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.reserve_vertices(self.num_vertices());
+        for u in 0..self.num_vertices() as VertexId {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// A borrowed enum view of this overlay for the traversal APIs.
+    pub fn as_dyn_view(&self) -> DynGraphView<'_> {
+        DynGraphView::Delta(self)
+    }
+}
+
+/// The enum-dispatched graph view: a frozen CSR or a base+delta overlay.
+///
+/// `Copy`, like [`GraphView`]. Every BFS oracle in [`crate::bfs`] takes
+/// `impl Into<DynGraphView>`, so owned graphs, mmap'd views, and delta
+/// overlays all run through one traversal implementation; the only cost
+/// is one predictable match per adjacency fetch.
+#[derive(Clone, Copy)]
+pub enum DynGraphView<'a> {
+    /// A frozen CSR graph.
+    Csr(GraphView<'a>),
+    /// A base CSR plus an edit overlay.
+    Delta(&'a DeltaGraph<'a>),
+}
+
+impl<'a> DynGraphView<'a> {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            DynGraphView::Csr(g) => g.num_vertices(),
+            DynGraphView::Delta(d) => d.num_vertices(),
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            DynGraphView::Csr(g) => g.num_edges(),
+            DynGraphView::Delta(d) => d.num_edges(),
+        }
+    }
+
+    /// The sorted neighbour list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        match self {
+            DynGraphView::Csr(g) => g.neighbors(v),
+            DynGraphView::Delta(d) => d.neighbors(v),
+        }
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+impl<'a> From<GraphView<'a>> for DynGraphView<'a> {
+    fn from(g: GraphView<'a>) -> Self {
+        DynGraphView::Csr(g)
+    }
+}
+
+impl<'a> From<&'a Graph> for DynGraphView<'a> {
+    fn from(g: &'a Graph) -> Self {
+        DynGraphView::Csr(g.as_view())
+    }
+}
+
+impl<'a> From<&'a DeltaGraph<'a>> for DynGraphView<'a> {
+    fn from(d: &'a DeltaGraph<'a>) -> Self {
+        DynGraphView::Delta(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::testkit;
+
+    #[test]
+    fn overlay_starts_identical_to_base() {
+        let g = testkit::grid(4, 4);
+        let d = DeltaGraph::new(g.as_view());
+        assert_eq!(d.num_vertices(), 16);
+        assert_eq!(d.num_edges(), g.num_edges());
+        assert_eq!(d.num_patched(), 0);
+        for v in 0..16 {
+            assert_eq!(d.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_patch_both_endpoints() {
+        let g = testkit::path(5); // 0-1-2-3-4
+        let mut d = DeltaGraph::new(g.as_view());
+        assert!(d.apply(EdgeDelta::insert(0, 4)).unwrap());
+        assert!(d.has_edge(0, 4));
+        assert!(d.has_edge(4, 0));
+        assert_eq!(d.num_edges(), g.num_edges() + 1);
+        assert_eq!(d.num_patched(), 2);
+        // Overlay lists stay sorted.
+        assert_eq!(d.neighbors(0), &[1, 4]);
+        assert_eq!(d.neighbors(4), &[0, 3]);
+
+        assert!(d.apply(EdgeDelta::delete(1, 2)).unwrap());
+        assert!(!d.has_edge(1, 2));
+        assert!(!d.has_edge(2, 1));
+        assert_eq!(d.num_edges(), g.num_edges());
+        // The base graph is untouched.
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn ineffective_deltas_are_reported_not_applied() {
+        let g = testkit::path(3);
+        let mut d = DeltaGraph::new(g.as_view());
+        assert!(!d.apply(EdgeDelta::insert(0, 1)).unwrap()); // already present
+        assert!(!d.apply(EdgeDelta::delete(0, 2)).unwrap()); // not present
+        assert_eq!(d.num_patched(), 0);
+        assert_eq!(d.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected() {
+        let g = testkit::path(3);
+        let mut d = DeltaGraph::new(g.as_view());
+        assert_eq!(
+            d.apply(EdgeDelta::insert(0, 7)).unwrap_err(),
+            DeltaError::VertexOutOfRange {
+                vertex: 7,
+                num_vertices: 3
+            }
+        );
+        assert_eq!(
+            d.apply(EdgeDelta::insert(1, 1)).unwrap_err(),
+            DeltaError::SelfLoop { vertex: 1 }
+        );
+    }
+
+    #[test]
+    fn materialised_graph_matches_overlay() {
+        let g = testkit::erdos_renyi(30, 0.1, 5);
+        let mut d = DeltaGraph::new(g.as_view());
+        let mut rng = testkit::SplitMix64::new(42);
+        for _ in 0..20 {
+            let u = rng.next_below(30) as VertexId;
+            let v = rng.next_below(30) as VertexId;
+            if u == v {
+                continue;
+            }
+            let delta = if d.has_edge(u, v) {
+                EdgeDelta::delete(u, v)
+            } else {
+                EdgeDelta::insert(u, v)
+            };
+            d.apply(delta).unwrap();
+        }
+        let materialised = d.to_graph();
+        assert_eq!(materialised.num_vertices(), d.num_vertices());
+        assert_eq!(materialised.num_edges(), d.num_edges());
+        for v in 0..30 {
+            assert_eq!(materialised.neighbors(v), d.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_oracles_run_over_the_overlay() {
+        let g = testkit::path(6); // 0-1-2-3-4-5
+        let mut d = DeltaGraph::new(g.as_view());
+        d.apply(EdgeDelta::insert(0, 5)).unwrap(); // close the cycle
+        assert_eq!(bfs::distance(&d, 0, 5), Some(1));
+        assert_eq!(bfs::distance(&d, 0, 3), Some(3));
+        d.apply(EdgeDelta::delete(2, 3)).unwrap();
+        // 0-1-2 and 3-4-5 joined only through the new 0-5 edge.
+        assert_eq!(bfs::distance(&d, 2, 3), Some(5));
+        // Base graph still answers the old distances.
+        assert_eq!(bfs::distance(&g, 2, 3), Some(1));
+        assert_eq!(bfs::distance(&g, 0, 5), Some(5));
+    }
+}

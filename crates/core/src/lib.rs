@@ -24,15 +24,21 @@
 //! * [`bitset::DenseBitSet`] — a dense membership bitset for hot-path
 //!   "is this vertex in the small special set?" probes (one bit per
 //!   vertex instead of a 4-byte table load).
+//! * [`delta`] — the dynamic-graph layer: [`delta::EdgeDelta`] edge edits,
+//!   the [`delta::DeltaGraph`] overlay that applies them without touching
+//!   the frozen CSR, and [`delta::DynGraphView`], the enum-dispatched view
+//!   the BFS oracles accept so traversals run over base+delta unchanged.
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bfs;
 pub mod bitset;
+pub mod delta;
 pub mod graph;
 pub mod rng;
 pub mod testkit;
 
 pub use bfs::{BfsProbe, NoProbe};
 pub use bitset::DenseBitSet;
+pub use delta::{DeltaError, DeltaGraph, DeltaOp, DynGraphView, EdgeDelta};
 pub use graph::{CsrError, Graph, GraphBuilder, GraphView, VertexId, INFINITY};

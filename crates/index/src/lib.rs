@@ -53,6 +53,7 @@
 mod build;
 mod probe;
 mod query;
+pub mod repair;
 mod select;
 mod view;
 
@@ -61,5 +62,6 @@ pub use build::{
 };
 pub use probe::{AnswerSource, MergeKind, Probe, QueryStats};
 pub use query::QueryContext;
+pub use repair::{DynamicIndex, RepairOutcome};
 pub use select::{ApproxCoverage, DegreeRank, LandmarkSelector, SeededRandom, SelectionStrategy};
 pub use view::{pack_label_entry, unpack_label_entry, IndexDataError, IndexView};

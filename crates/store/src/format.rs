@@ -8,7 +8,8 @@
 //!      8     4  format version (u32 LE)
 //!     12     4  section count (u32 LE) — 8 in version 2, 7 in versions
 //!               3/4, 7 or 8 in version 5 (the build-stats section is
-//!               optional)
+//!               optional), 7 through 9 in version 6 (build-stats and
+//!               journal both optional)
 //!     16     8  total file length in bytes (u64 LE)
 //!     24     8  CRC-64/ECMA of the whole file with this field zeroed
 //!     32     8  num_vertices (u64 LE)
@@ -59,17 +60,26 @@
 //!   [`StoredBuildStats`] for the payload layout. Header and the seven
 //!   core sections are unchanged from v4; a v5 file without the stats
 //!   section is byte-identical to a v4 file except for the version field.
+//! * v6: added an **optional** `journal` section (kind 11, `u64`
+//!   elements): an append-only log of edge deltas not yet folded into the
+//!   base sections, plus the container's compaction counter — see
+//!   [`StoredJournal`] for the payload layout. The base sections always
+//!   describe the graph/index *as last compacted*; opening a file with a
+//!   non-empty journal replays the deltas (see
+//!   [`IndexStore::open`](crate::IndexStore)). A v6 file without the
+//!   journal section is byte-identical to a v5 file except for the
+//!   version field.
 //!
-//! This reader accepts **v2 through v5**. v2 files are served through a
+//! This reader accepts **v2 through v6**. v2 files are served through a
 //! converting open: the two `u32` sections are packed once into an owned
 //! entry array at load (`O(entries)` time and `8·entries` bytes of heap;
 //! the rest of the file still serves zero-copy from the map). v2 and v3
 //! files predate recorded selection strategies and load as
 //! `SelectionStrategy::DegreeRank` — the only strategy that existed when
-//! they were written. Writers always emit v5; [`serialize_v2_with`],
-//! [`serialize_v3_with`], and [`serialize_v4_with`] exist so tests and
-//! migration tooling can fabricate legacy containers. Unknown versions are
-//! rejected with a typed error rather than mis-read.
+//! they were written. Writers always emit v6; [`serialize_v2_with`],
+//! [`serialize_v3_with`], [`serialize_v4_with`], and [`serialize_v5_with`]
+//! exist so tests and migration tooling can fabricate legacy containers.
+//! Unknown versions are rejected with a typed error rather than mis-read.
 //!
 //! All integers are little-endian, all arrays fixed-width (`u32`/`u64`),
 //! all section offsets 8-byte aligned — which is exactly what lets a
@@ -82,16 +92,16 @@
 
 use crate::checksum::{crc64_finish, crc64_init, crc64_update};
 use crate::error::StoreError;
-use hcl_core::Graph;
+use hcl_core::{DeltaOp, EdgeDelta, Graph};
 use hcl_index::{unpack_label_entry, HighwayCoverIndex, SelectionStrategy};
 use std::ops::Range;
 
 /// File magic: "HCLSTOR1".
 pub const MAGIC: [u8; 8] = *b"HCLSTOR1";
-/// Format version this build writes (v5: v4's 96-byte header and packed
-/// `u64` label entries, plus an optional `build_stats` section). Versions
-/// 2 through 5 are readable.
-pub const FORMAT_VERSION: u32 = 5;
+/// Format version this build writes (v6: v5's layout plus an optional
+/// append-only `journal` section of edge deltas). Versions 2 through 6
+/// are readable.
+pub const FORMAT_VERSION: u32 = 6;
 /// Oldest format version this build still reads (v2: split
 /// `label_hubs`/`label_dists` sections, served through a converting open).
 pub const OLDEST_READABLE_VERSION: u32 = 2;
@@ -124,10 +134,11 @@ const SECTION_ENTRY_LEN: usize = 24;
 const NUM_SECTIONS_V2: usize = 8;
 const NUM_SECTIONS_V3: usize = 7;
 /// Highest section-kind discriminant across all readable versions.
-const MAX_SECTION_KINDS: usize = 10;
+const MAX_SECTION_KINDS: usize = 11;
 
 /// Section kinds across all readable versions. Kinds 6/7 only appear in
-/// v2 files, kind 9 in v3 and later, kind 10 (optionally) in v5 and later.
+/// v2 files, kind 9 in v3 and later, kind 10 (optionally) in v5 and
+/// later, kind 11 (optionally) in v6 and later.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum SectionKind {
@@ -141,6 +152,7 @@ enum SectionKind {
     Highway = 8,
     LabelEntries = 9,
     BuildStats = 10,
+    Journal = 11,
 }
 
 impl SectionKind {
@@ -156,13 +168,15 @@ impl SectionKind {
             8 => Some(Self::Highway),
             9 => Some(Self::LabelEntries),
             10 => Some(Self::BuildStats),
+            11 => Some(Self::Journal),
             _ => None,
         }
     }
 
     fn elem_size(self) -> u32 {
         match self {
-            Self::GraphOffsets | Self::LabelOffsets | Self::LabelEntries | Self::BuildStats => 8,
+            Self::GraphOffsets | Self::LabelOffsets | Self::LabelEntries => 8,
+            Self::BuildStats | Self::Journal => 8,
             _ => 4,
         }
     }
@@ -179,11 +193,13 @@ impl SectionKind {
             Self::Highway => "highway",
             Self::LabelEntries => "label_entries",
             Self::BuildStats => "build_stats",
+            Self::Journal => "journal",
         }
     }
 
-    /// Canonical section-table order for one format version. The v5 table
-    /// lists every *allowed* kind; `BuildStats` (last) is optional.
+    /// Canonical section-table order for one format version. The v5/v6
+    /// tables list every *allowed* kind; the trailing `BuildStats` and
+    /// (v6) `Journal` sections are optional.
     fn table_for(version: u32) -> &'static [SectionKind] {
         match version {
             2 => &[
@@ -214,6 +230,17 @@ impl SectionKind {
                 Self::LabelEntries,
                 Self::Highway,
                 Self::BuildStats,
+            ],
+            6 => &[
+                Self::GraphOffsets,
+                Self::GraphNeighbors,
+                Self::Landmarks,
+                Self::LandmarkRank,
+                Self::LabelOffsets,
+                Self::LabelEntries,
+                Self::Highway,
+                Self::BuildStats,
+                Self::Journal,
             ],
             _ => unreachable!("version gated before table lookup"),
         }
@@ -308,6 +335,100 @@ impl StoredBuildStats {
     }
 }
 
+/// Format tag in word 0 of the `journal` section payload; bump when the
+/// journal layout changes so old readers degrade to "unreadable journal"
+/// (a typed error) instead of mis-decoding edits.
+const JOURNAL_FORMAT_TAG: u64 = 1;
+
+/// Word encoding of a delta op inside the journal payload.
+const JOURNAL_OP_INSERT: u64 = 0;
+const JOURNAL_OP_DELETE: u64 = 1;
+
+/// The append-only edge-delta journal persisted in a v6 container's
+/// optional `journal` section.
+///
+/// The base sections of a v6 file always hold the graph and index **as
+/// last compacted**; the journal holds the edits applied since, in order.
+/// Opening a journalled file replays the deltas (and repairs the labels)
+/// to reconstruct current state; `compact` folds the replayed state back
+/// into the base sections and empties the journal. The payload is a flat
+/// `u64` array:
+///
+/// ```text
+/// word       value
+/// ----       ------------------------------------------------------
+///    0       journal format tag (currently 1)
+///    1       compactions — times this container has been compacted
+///    2       delta count D
+/// 3+2i       op of delta i (0 = insert, 1 = delete)
+/// 4+2i       endpoints of delta i, packed (u << 32) | v
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoredJournal {
+    /// Edge edits applied since the last compaction, in application order.
+    pub deltas: Vec<EdgeDelta>,
+    /// How many times this container's journal has been folded into the
+    /// base sections (monotone across the file's lifetime).
+    pub compactions: u64,
+}
+
+impl StoredJournal {
+    /// Whether there are no pending deltas (the compaction counter may
+    /// still be non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Number of pending deltas.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    fn encode(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(3 + 2 * self.deltas.len());
+        words.push(JOURNAL_FORMAT_TAG);
+        words.push(self.compactions);
+        words.push(self.deltas.len() as u64);
+        for d in &self.deltas {
+            words.push(match d.op {
+                DeltaOp::Insert => JOURNAL_OP_INSERT,
+                DeltaOp::Delete => JOURNAL_OP_DELETE,
+            });
+            words.push(((d.u as u64) << 32) | d.v as u64);
+        }
+        words
+    }
+
+    /// Decodes a journal payload; `None` for unknown tags, unknown ops, or
+    /// inconsistent geometry. Unlike build stats, a journal that cannot be
+    /// decoded is a hard open error upstream — silently dropping edits
+    /// would serve stale answers as if they were current.
+    pub(crate) fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() < 3 || words[0] != JOURNAL_FORMAT_TAG {
+            return None;
+        }
+        let count = words[2] as usize;
+        if words.len() != 3 + count.checked_mul(2)? {
+            return None;
+        }
+        let mut deltas = Vec::with_capacity(count);
+        for pair in words[3..].chunks_exact(2) {
+            let op = match pair[0] {
+                JOURNAL_OP_INSERT => DeltaOp::Insert,
+                JOURNAL_OP_DELETE => DeltaOp::Delete,
+                _ => return None,
+            };
+            let u = (pair[1] >> 32) as u32;
+            let v = pair[1] as u32;
+            deltas.push(EdgeDelta { op, u, v });
+        }
+        Some(Self {
+            deltas,
+            compactions: words[1],
+        })
+    }
+}
+
 /// How an index was built, recorded in the container header's
 /// build-metadata bytes. It never affects how the file is *served*, but it
 /// makes a persisted index reproducible — same graph, same landmark count,
@@ -396,6 +517,8 @@ pub(crate) struct Layout {
     pub(crate) highway: Range<usize>,
     /// v5's optional `build_stats` section (`None` when absent or legacy).
     pub(crate) build_stats: Option<Range<usize>>,
+    /// v6's optional `journal` section (`None` when absent or legacy).
+    pub(crate) journal: Option<Range<usize>>,
 }
 
 impl Layout {
@@ -423,6 +546,9 @@ impl Layout {
         out.push(info(SectionKind::Highway, &self.highway));
         if let Some(stats) = &self.build_stats {
             out.push(info(SectionKind::BuildStats, stats));
+        }
+        if let Some(journal) = &self.journal {
+            out.push(info(SectionKind::Journal, journal));
         }
         out
     }
@@ -488,7 +614,30 @@ pub fn serialize_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, FORMAT_VERSION, None)
+    serialize_version(graph, index, build, FORMAT_VERSION, None, None)
+}
+
+/// Serialises a graph, its index, and a delta journal into a v6 container.
+///
+/// The graph and index must describe the **base** (as-last-compacted)
+/// state; the journal's deltas are what a reader replays on top to
+/// reconstruct current state. Pass an empty journal with a non-zero
+/// compaction counter to record "just compacted". Determinism holds per
+/// `(graph, index, build, journal)` tuple.
+pub fn serialize_with_journal(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    journal: &StoredJournal,
+) -> Result<Vec<u8>, StoreError> {
+    serialize_version(
+        graph,
+        index,
+        build,
+        FORMAT_VERSION,
+        None,
+        Some(&journal.encode()),
+    )
 }
 
 /// Serialises a graph and its index (current version) with the build's
@@ -503,7 +652,14 @@ pub fn serialize_with_stats(
     build: BuildInfo,
     stats: &StoredBuildStats,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, FORMAT_VERSION, Some(&stats.encode()))
+    serialize_version(
+        graph,
+        index,
+        build,
+        FORMAT_VERSION,
+        Some(&stats.encode()),
+        None,
+    )
 }
 
 /// Serialises a graph and its index as a **legacy v2 container** (split
@@ -519,7 +675,7 @@ pub fn serialize_v2_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, 2, None)
+    serialize_version(graph, index, build, 2, None, None)
 }
 
 /// Serialises a graph and its index as a **legacy v3 container** (packed
@@ -533,7 +689,7 @@ pub fn serialize_v3_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, 3, None)
+    serialize_version(graph, index, build, 3, None, None)
 }
 
 /// Serialises a graph and its index as a **legacy v4 container** (96-byte
@@ -548,7 +704,33 @@ pub fn serialize_v4_with(
     index: &HighwayCoverIndex,
     build: BuildInfo,
 ) -> Result<Vec<u8>, StoreError> {
-    serialize_version(graph, index, build, 4, None)
+    serialize_version(graph, index, build, 4, None, None)
+}
+
+/// Serialises a graph and its index as a **legacy v5 container** (no
+/// journal section; optionally with build stats).
+///
+/// Compatibility-test and migration tooling counterpart of the other
+/// `serialize_v*_with` fabricators; it lets the suite prove v5 files
+/// still load, with an empty journal reported.
+pub fn serialize_v5_with(
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    stats: Option<&StoredBuildStats>,
+) -> Result<Vec<u8>, StoreError> {
+    let words = stats.map(StoredBuildStats::encode);
+    serialize_version(graph, index, build, 5, words.as_deref(), None)
+}
+
+/// Whether `needle` is a subsequence of `haystack` (order-preserving,
+/// not necessarily contiguous) — the shape contract between emitted
+/// sections and the canonical per-version table, where trailing optional
+/// kinds may be independently absent.
+#[cfg(debug_assertions)]
+fn is_subsequence(needle: &[SectionKind], haystack: &[SectionKind]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|k| it.any(|h| h == k))
 }
 
 fn serialize_version(
@@ -557,6 +739,7 @@ fn serialize_version(
     build: BuildInfo,
     version: u32,
     stats: Option<&[u64]>,
+    journal: Option<&[u64]>,
 ) -> Result<Vec<u8>, StoreError> {
     let gv = graph.as_view();
     let iv = index.as_view();
@@ -600,10 +783,17 @@ fn serialize_version(
         debug_assert!(version >= 5, "build stats require format v5");
         parts.push((SectionKind::BuildStats, Payload::U64(words)));
     }
-    // The emitted kinds must be a prefix of the canonical table (the whole
-    // table when the optional trailing stats section is present).
-    debug_assert!(SectionKind::table_for(version)
-        .starts_with(&parts.iter().map(|(k, _)| *k).collect::<Vec<_>>()));
+    if let Some(words) = journal {
+        debug_assert!(version >= 6, "delta journals require format v6");
+        parts.push((SectionKind::Journal, Payload::U64(words)));
+    }
+    // The emitted kinds must be a subsequence of the canonical table
+    // (trailing optional kinds may be independently absent).
+    #[cfg(debug_assertions)]
+    debug_assert!(is_subsequence(
+        &parts.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        SectionKind::table_for(version),
+    ));
 
     let hlen = header_len(version);
     let num_sections = parts.len();
@@ -681,7 +871,7 @@ fn corrupt(what: impl Into<String>) -> StoreError {
 
 /// Parses and validates the header and section table, returning the layout.
 ///
-/// Checks, in order: minimum length, magic, version (2 through 4 are
+/// Checks, in order: minimum length, magic, version (2 through 6 are
 /// readable), version-specific header length, declared vs actual file
 /// length (truncation / trailing bytes), checksum (unless
 /// `verify_checksum` is false — the trusted-open path), then section-table
@@ -747,13 +937,15 @@ pub(crate) fn parse_and_validate(
     }
 
     // v2 has 8 fixed sections, v3/v4 have 7; v5 has 7 plus an optional
-    // trailing build-stats section, so 7 and 8 are both well-formed there.
+    // trailing build-stats section, so 7 and 8 are both well-formed
+    // there; v6 adds an optional journal section on top (7 through 9).
     let allowed = SectionKind::table_for(version);
     let section_count = u32_le(bytes, 12) as usize;
     let well_formed = match version {
         2 => section_count == NUM_SECTIONS_V2,
         3 | 4 => section_count == NUM_SECTIONS_V3,
-        _ => section_count == NUM_SECTIONS_V3 || section_count == NUM_SECTIONS_V3 + 1,
+        5 => section_count == NUM_SECTIONS_V3 || section_count == NUM_SECTIONS_V3 + 1,
+        _ => (NUM_SECTIONS_V3..=NUM_SECTIONS_V3 + 2).contains(&section_count),
     };
     if !well_formed {
         return Err(corrupt(format!(
@@ -848,12 +1040,14 @@ pub(crate) fn parse_and_validate(
         }
     }
 
-    // Every allowed kind except the optional trailing stats section is
-    // required. (For v2–v4 the count match + duplicate rejection already
-    // imply presence; for v5 a 7-section file could have smuggled a stats
-    // entry in place of a core section, so check explicitly.)
+    // Every allowed kind except the optional trailing stats/journal
+    // sections is required. (For v2–v4 the count match + duplicate
+    // rejection already imply presence; for v5/v6 a short file could have
+    // smuggled an optional entry in place of a core section, so check
+    // explicitly.)
     for &kind in allowed {
-        if kind != SectionKind::BuildStats && ranges[kind as u32 as usize - 1].is_none() {
+        let optional = kind == SectionKind::BuildStats || kind == SectionKind::Journal;
+        if !optional && ranges[kind as u32 as usize - 1].is_none() {
             return Err(corrupt(format!("missing section {}", kind.name())));
         }
     }
@@ -882,6 +1076,7 @@ pub(crate) fn parse_and_validate(
         labels,
         highway: take(SectionKind::Highway),
         build_stats: ranges[SectionKind::BuildStats as u32 as usize - 1].clone(),
+        journal: ranges[SectionKind::Journal as u32 as usize - 1].clone(),
     };
 
     // Element counts must agree with the header metadata.
@@ -933,6 +1128,13 @@ pub(crate) fn parse_and_validate(
         // `StoredBuildStats::decode`); geometry just has to be non-empty.
         if elems(stats, 8) == 0 {
             return Err(corrupt("section build_stats is empty"));
+        }
+    }
+    if let Some(journal) = &layout.journal {
+        // Full decoding (and the hard error on an undecodable payload)
+        // happens at open; here just require the fixed preamble to exist.
+        if elems(journal, 8) < 3 {
+            return Err(corrupt("section journal shorter than its preamble"));
         }
     }
 

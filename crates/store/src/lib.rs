@@ -58,9 +58,9 @@ pub use checksum::crc64;
 pub use error::StoreError;
 pub use format::{
     header_len, rewrite_checksum, serialize, serialize_v2_with, serialize_v3_with,
-    serialize_v4_with, serialize_with, serialize_with_stats, BuildInfo, SectionInfo, StoreMeta,
-    StoredBuildStats, FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC,
-    OLDEST_READABLE_VERSION,
+    serialize_v4_with, serialize_v5_with, serialize_with, serialize_with_journal,
+    serialize_with_stats, BuildInfo, SectionInfo, StoreMeta, StoredBuildStats, StoredJournal,
+    FORMAT_VERSION, HEADER_LEN, LEGACY_HEADER_LEN, MAGIC, OLDEST_READABLE_VERSION,
 };
 pub use generation::{Generation, GenerationHandle};
 // The strategy type recorded in [`BuildInfo`] lives in `hcl-index`;
@@ -69,8 +69,9 @@ pub use hcl_index::SelectionStrategy;
 
 use backing::{cast_u32s, cast_u64s, AlignedBuf, Backing};
 use format::{LabelRanges, Layout};
-use hcl_core::{Graph, GraphView, VertexId};
-use hcl_index::{pack_label_entry, HighwayCoverIndex, IndexView};
+use hcl_core::{DeltaGraph, Graph, GraphView, VertexId};
+use hcl_index::repair::DynamicIndex;
+use hcl_index::{pack_label_entry, BuildContext, HighwayCoverIndex, IndexView};
 use std::fs::File;
 use std::path::Path;
 
@@ -129,6 +130,74 @@ pub fn save_with_stats(
     Ok(bytes.len() as u64)
 }
 
+/// [`save_with`] for a journalled container: `graph`/`index` are the
+/// **base** (as-last-compacted) state and `journal` the deltas applied
+/// since — see [`serialize_with_journal`]. Returns the bytes written.
+pub fn save_with_journal(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    index: &HighwayCoverIndex,
+    build: BuildInfo,
+    journal: &StoredJournal,
+) -> Result<u64, StoreError> {
+    let path = path.as_ref();
+    let bytes = serialize_with_journal(graph, index, build, journal)?;
+    write_atomically(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// What [`compact_file`] did, for logging and `inspect`-style tooling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Journal deltas folded into the base sections.
+    pub deltas_folded: usize,
+    /// Container size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// Container size after compaction, in bytes.
+    pub bytes_after: u64,
+    /// The container's compaction counter after this compaction.
+    pub compactions: u64,
+}
+
+/// Folds a container's delta journal into its base sections: opens the
+/// file (which replays pending deltas and repairs the labels), then
+/// atomically republishes it with the replayed state as the new base, an
+/// empty journal, and the compaction counter bumped.
+///
+/// The write goes through the durable temp-fsync/rename/dir-fsync path
+/// ([`durable`]), so a crash mid-compaction leaves the old journalled
+/// container intact. A file whose journal is already empty (or absent) is
+/// rewritten only when it predates v6, upgrading it in place; otherwise
+/// it is left untouched.
+pub fn compact_file(path: impl AsRef<Path>) -> Result<CompactReport, StoreError> {
+    let path = path.as_ref();
+    let store = IndexStore::open(path)?;
+    let meta = store.meta();
+    let journal = store.journal().cloned().unwrap_or_default();
+    if journal.is_empty() && meta.version >= 6 {
+        let len = store.len_bytes();
+        return Ok(CompactReport {
+            deltas_folded: 0,
+            bytes_before: len,
+            bytes_after: len,
+            compactions: journal.compactions,
+        });
+    }
+    let (graph, index) = store.to_owned_parts();
+    let folded = StoredJournal {
+        deltas: Vec::new(),
+        compactions: journal.compactions + u64::from(!journal.is_empty()),
+    };
+    let bytes = serialize_with_journal(&graph, &index, meta.build, &folded)?;
+    write_atomically(path, &bytes)?;
+    Ok(CompactReport {
+        deltas_folded: journal.len(),
+        bytes_before: meta.file_len,
+        bytes_after: bytes.len() as u64,
+        compactions: folded.compactions,
+    })
+}
+
 /// How much of the integrity machinery an open pays for; see
 /// [`IndexStore::open`] vs [`IndexStore::open_trusted`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,6 +227,21 @@ pub struct IndexStore {
     /// Owned packed label entries for v2 files (`None` for v3, which
     /// serves them straight from the backing).
     converted_entries: Option<Vec<u64>>,
+    /// The decoded delta journal of a v6 file (`None` when the file has
+    /// no journal section).
+    journal: Option<StoredJournal>,
+    /// Current graph/index reconstructed by replaying a non-empty journal
+    /// over the base sections at open. When present, [`IndexStore::graph`]
+    /// and [`IndexStore::index`] serve these instead of the (stale) base
+    /// sections.
+    replayed: Option<ReplayedState>,
+}
+
+/// Owned current state of a journalled container: base sections plus
+/// replayed deltas, with labels repaired incrementally at open.
+struct ReplayedState {
+    graph: Graph,
+    index: HighwayCoverIndex,
 }
 
 impl std::fmt::Debug for IndexStore {
@@ -296,16 +380,80 @@ impl IndexStore {
                     index_vertices: index.num_vertices(),
                 });
             }
+
+            // v6: decode the journal and, when it holds pending deltas,
+            // replay them over the base sections — applying each edit to a
+            // delta overlay and repairing the labels incrementally — so
+            // the store serves *current* state. An undecodable journal is
+            // a hard error: silently dropping edits would serve stale
+            // answers as if they were current.
+            let journal =
+                match &layout.journal {
+                    None => None,
+                    Some(range) => {
+                        let words = cast_u64s(&bytes[range.clone()]);
+                        Some(StoredJournal::decode(words).ok_or(StoreError::Corrupt {
+                        what: "journal section cannot be decoded (unknown tag, op, or geometry)"
+                            .into(),
+                    })?)
+                    }
+                };
+            let replayed = match &journal {
+                Some(j) if !j.is_empty() => {
+                    let mut overlay = DeltaGraph::new(graph);
+                    let mut dynamic = DynamicIndex::from_view(index);
+                    let mut cx = BuildContext::new();
+                    for (i, &delta) in j.deltas.iter().enumerate() {
+                        dynamic
+                            .apply_and_repair(&mut overlay, delta, &mut cx)
+                            .map_err(|e| StoreError::Corrupt {
+                                what: format!("journal delta {i} ({delta}) cannot be applied: {e}"),
+                            })?;
+                    }
+                    Some(ReplayedState {
+                        graph: overlay.to_graph(),
+                        index: dynamic.to_index(),
+                    })
+                }
+                _ => None,
+            };
+
             Ok(Self {
                 backing,
                 layout,
                 converted_entries,
+                journal,
+                replayed,
             })
         }
     }
 
-    /// The stored graph, borrowed zero-copy from the backing.
+    /// The *current* graph: the replayed state for a journalled container
+    /// with pending deltas, otherwise the base sections zero-copy from the
+    /// backing.
     pub fn graph(&self) -> GraphView<'_> {
+        match &self.replayed {
+            Some(state) => state.graph.as_view(),
+            None => self.base_graph(),
+        }
+    }
+
+    /// The *current* index: the replayed (incrementally repaired) state
+    /// for a journalled container with pending deltas, otherwise the base
+    /// sections (zero-copy for v3+ files; label entries come from the
+    /// converted array for v2 files).
+    pub fn index(&self) -> IndexView<'_> {
+        match &self.replayed {
+            Some(state) => state.index.as_view(),
+            None => self.base_index(),
+        }
+    }
+
+    /// The graph exactly as stored in the base sections — the
+    /// as-last-compacted state a journalled file's deltas replay over.
+    /// Identical to [`graph`](IndexStore::graph) when the journal is
+    /// empty or absent.
+    pub fn base_graph(&self) -> GraphView<'_> {
         let bytes = self.backing.bytes();
         GraphView::from_csr_unchecked(
             cast_u64s(&bytes[self.layout.graph_offsets.clone()]),
@@ -313,9 +461,9 @@ impl IndexStore {
         )
     }
 
-    /// The stored index, borrowed from the backing (zero-copy for v3
-    /// files; label entries come from the converted array for v2 files).
-    pub fn index(&self) -> IndexView<'_> {
+    /// The index exactly as stored in the base sections; see
+    /// [`base_graph`](IndexStore::base_graph).
+    pub fn base_index(&self) -> IndexView<'_> {
         let bytes = self.backing.bytes();
         let entries = packed_entries(&self.layout.labels, &self.converted_entries, bytes);
         IndexView::from_parts_unchecked(
@@ -325,6 +473,20 @@ impl IndexStore {
             entries,
             cast_u32s(&bytes[self.layout.highway.clone()]),
         )
+    }
+
+    /// The decoded delta journal of a v6 container, or `None` for files
+    /// that predate the journal section or were written without one.
+    pub fn journal(&self) -> Option<&StoredJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Size in bytes of the journal section on disk (0 when absent).
+    pub fn journal_bytes(&self) -> u64 {
+        self.layout
+            .journal
+            .as_ref()
+            .map_or(0, |r| (r.end - r.start) as u64)
     }
 
     /// Header metadata (counts, version, checksum) — available without

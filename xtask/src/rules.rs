@@ -101,6 +101,7 @@ pub const SERVING_PATH_FILES: &[&str] = &[
     "crates/cli/src/slowlog.rs",
     "crates/cli/src/metrics.rs",
     "crates/cli/src/sync.rs",
+    "crates/cli/src/update.rs",
     "crates/index/src/query.rs",
     "crates/index/src/view.rs",
 ];
